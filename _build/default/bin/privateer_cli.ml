@@ -1,0 +1,200 @@
+(* The privateer command-line driver.
+
+     privateer list
+     privateer plan <workload>
+     privateer dump <workload> [--transformed]
+     privateer run <workload> [-w N] [-i ref] [--inject RATE] [--checkpoint K]
+     privateer compare <workload> [-w N]
+     privateer file <path.cm> [-w N]   -- full pipeline on a Cmini file
+*)
+
+open Cmdliner
+open Privateer
+open Privateer_workloads
+
+let workload_conv =
+  let parse s =
+    match Workloads.find s with
+    | Some w -> Ok w
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown workload %S (try: %s)" s
+             (String.concat ", " (List.map (fun (w : Workload.t) -> w.name) Workloads.all))))
+  in
+  Arg.conv (parse, fun fmt (w : Workload.t) -> Format.pp_print_string fmt w.name)
+
+let input_conv =
+  let parse = function
+    | "train" -> Ok Workload.Train
+    | "ref" -> Ok Workload.Ref
+    | "alt" -> Ok Workload.Alt
+    | s -> Error (`Msg (Printf.sprintf "unknown input %S (train|ref|alt)" s))
+  in
+  Arg.conv (parse, fun fmt i -> Format.pp_print_string fmt (Workload.input_name i))
+
+let wl_arg = Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
+
+let workers_arg =
+  Arg.(value & opt int 24 & info [ "w"; "workers" ] ~docv:"N" ~doc:"Worker processes.")
+
+let input_arg =
+  Arg.(value & opt input_conv Workload.Ref
+       & info [ "i"; "input" ] ~docv:"INPUT" ~doc:"Input set (train|ref|alt).")
+
+let inject_arg =
+  Arg.(value & opt float 0.0
+       & info [ "inject" ] ~docv:"RATE"
+           ~doc:"Inject misspeculation at this per-iteration rate.")
+
+let checkpoint_arg =
+  Arg.(value & opt (some int) None
+       & info [ "checkpoint" ] ~docv:"K" ~doc:"Checkpoint period in iterations.")
+
+(* Deterministically spaced injection at a given rate. *)
+let spaced_injection rate =
+  if rate <= 0.0 then None
+  else
+    Some
+      (fun iter ->
+        int_of_float (float_of_int (iter + 1) *. rate)
+        > int_of_float (float_of_int iter *. rate))
+
+let config ~workers ~inject ~checkpoint =
+  { Privateer_parallel.Executor.default_config with
+    workers; inject = spaced_injection inject; checkpoint_period = checkpoint }
+
+(* ---- commands --------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (w : Workload.t) -> Printf.printf "%-14s %s\n" w.name w.description)
+      Workloads.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the evaluation workloads")
+    Term.(const run $ const ())
+
+let plan_cmd =
+  let run wl =
+    let program = Workload.program wl in
+    let profiler, _ = Pipeline.profile ~setup:(Workload.setup wl Train) program in
+    let selection = Privateer_analysis.Selection.select program profiler in
+    List.iter
+      (fun (p : Privateer_analysis.Selection.plan) ->
+        Printf.printf "selected loop %d in %s (weight %d, extras: %s)\n" p.loop p.func
+          p.weight
+          (String.concat ", " (Privateer_analysis.Selection.extras p));
+        print_endline (Privateer_analysis.Classify.to_string p.assignment);
+        List.iter
+          (fun (s, h) ->
+            Printf.printf "  site %-20s -> %s heap\n"
+              (Privateer_profile.Objname.site_to_string s)
+              (Privateer_ir.Heap.name h))
+          p.site_heap)
+      selection.plans;
+    List.iter
+      (fun (r : Privateer_analysis.Selection.rejection) ->
+        Printf.printf "rejected loop %d in %s: %s\n" r.rloop r.rfunc r.reason)
+      selection.rejections
+  in
+  Cmd.v (Cmd.info "plan" ~doc:"Show the heap assignment and loop selection")
+    Term.(const run $ wl_arg)
+
+let dump_cmd =
+  let transformed =
+    Arg.(value & flag & info [ "transformed" ] ~doc:"Dump after privatization.")
+  in
+  let run wl transformed =
+    let program = Workload.program wl in
+    if transformed then begin
+      let tr, _ = Pipeline.compile ~setup:(Workload.setup wl Train) program in
+      print_endline (Privateer_ir.Pp.program_str tr.program)
+    end
+    else print_endline (Privateer_ir.Pp.program_str program)
+  in
+  Cmd.v (Cmd.info "dump" ~doc:"Pretty-print a workload's IR")
+    Term.(const run $ wl_arg $ transformed)
+
+let report_run ~seq ~(par : Pipeline.par_run) ~fallbacks =
+  let stats = par.stats in
+  Printf.printf "sequential cycles : %d\n" seq.Pipeline.seq_cycles;
+  Printf.printf "parallel cycles   : %d\n" par.par_cycles;
+  Printf.printf "whole-program speedup: %.2fx\n"
+    (float_of_int seq.Pipeline.seq_cycles /. float_of_int par.par_cycles);
+  Printf.printf "output identical  : %b\n" (String.equal seq.seq_output par.par_output);
+  Printf.printf
+    "invocations %d, checkpoints %d, misspeculations %d (recovered %d iterations), fallbacks %d\n"
+    stats.invocations stats.checkpoints stats.misspeculations
+    stats.recovered_iterations fallbacks;
+  Printf.printf "private bytes: %s read, %s written\n"
+    (Privateer_support.Table.fbytes stats.private_bytes_read)
+    (Privateer_support.Table.fbytes stats.private_bytes_written);
+  let b = Privateer_runtime.Stats.breakdown stats in
+  Printf.printf
+    "overhead breakdown: useful %.1f%%, priv-read %.1f%%, priv-write %.1f%%, checkpoint %.1f%%, spawn/join %.1f%%\n"
+    b.useful b.private_read b.private_write b.checkpoint b.spawn_join
+
+let run_cmd =
+  let run wl workers input inject checkpoint =
+    let program = Workload.program wl in
+    let tr, _ = Pipeline.compile ~setup:(Workload.setup wl Train) program in
+    let seq = Pipeline.run_sequential ~setup:(Workload.setup wl input) program in
+    let par =
+      Pipeline.run_parallel ~setup:(Workload.setup wl input)
+        ~config:(config ~workers ~inject ~checkpoint) tr
+    in
+    report_run ~seq ~par ~fallbacks:par.fallbacks
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Profile, privatize and run a workload in parallel")
+    Term.(const run $ wl_arg $ workers_arg $ input_arg $ inject_arg $ checkpoint_arg)
+
+let compare_cmd =
+  let run wl workers =
+    let program = Workload.program wl in
+    let profiler, _ = Pipeline.profile ~setup:(Workload.setup wl Train) program in
+    let tr, _ = Pipeline.compile ~setup:(Workload.setup wl Train) program in
+    let seq = Pipeline.run_sequential ~setup:(Workload.setup wl Ref) program in
+    let par =
+      Pipeline.run_parallel ~setup:(Workload.setup wl Ref)
+        ~config:(config ~workers ~inject:0.0 ~checkpoint:None) tr
+    in
+    let report = Privateer_baselines.Doall_only.select program profiler in
+    let dst, _, _ =
+      Privateer_baselines.Doall_only.run ~workers program report
+        ~setup:(Workload.setup wl Ref)
+    in
+    Printf.printf "%-14s sequential: %d cycles\n" wl.name seq.seq_cycles;
+    Printf.printf "  DOALL-only : %.2fx (%d provable loops)\n"
+      (float_of_int seq.seq_cycles /. float_of_int dst.cycles)
+      (List.length report.chosen);
+    Printf.printf "  Privateer  : %.2fx\n"
+      (float_of_int seq.seq_cycles /. float_of_int par.par_cycles)
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Privateer vs the non-speculative DOALL-only baseline")
+    Term.(const run $ wl_arg $ workers_arg)
+
+let file_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cm") in
+  let run path workers =
+    let source = In_channel.with_open_text path In_channel.input_all in
+    let program = Pipeline.parse source in
+    let tr, _ = Pipeline.compile program in
+    let seq = Pipeline.run_sequential program in
+    let par =
+      Pipeline.run_parallel
+        ~config:(config ~workers ~inject:0.0 ~checkpoint:None) tr
+    in
+    print_string par.par_output;
+    report_run ~seq ~par ~fallbacks:par.fallbacks
+  in
+  Cmd.v (Cmd.info "file" ~doc:"Run the full pipeline on a Cmini source file")
+    Term.(const run $ path $ workers_arg)
+
+let () =
+  let doc = "Privateer: speculative separation for privatization and reductions" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "privateer" ~doc)
+          [ list_cmd; plan_cmd; dump_cmd; run_cmd; compare_cmd; file_cmd ]))

@@ -1,0 +1,1 @@
+examples/dijkstra_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/lrpd_comparison.mli:

@@ -1,0 +1,1 @@
+examples/misspec_recovery.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Pipeline Printf Privateer Privateer_analysis Privateer_parallel String

@@ -1,0 +1,1 @@
+lib/analysis/ast_util.ml: Ast List Privateer_ir Set String Validate

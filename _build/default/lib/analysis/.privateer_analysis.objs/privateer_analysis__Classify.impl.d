@@ -1,0 +1,1 @@
+lib/analysis/classify.ml: Ast Ast_util Footprint Heap List Objname Printf Privateer_interp Privateer_ir Privateer_profile Profiler String Value

@@ -1,0 +1,1 @@
+lib/analysis/footprint.ml: Ast Ast_util Hashtbl List Objname Privateer_ir Privateer_profile Profiler Reduction Validate

@@ -1,0 +1,1 @@
+lib/analysis/reduction.ml: Ast Ast_util Int64 List Privateer_interp Privateer_ir

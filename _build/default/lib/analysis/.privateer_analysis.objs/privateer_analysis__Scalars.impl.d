@@ -1,0 +1,1 @@
+lib/analysis/scalars.ml: Ast Ast_util List Option Printf Privateer_ir

@@ -1,0 +1,1 @@
+lib/analysis/selection.ml: Ast Ast_util Classify Hashtbl Heap List Objname Printf Privateer_ir Privateer_profile Profiler Scalars String

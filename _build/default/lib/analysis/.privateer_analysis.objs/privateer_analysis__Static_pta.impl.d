@@ -1,0 +1,1 @@
+lib/analysis/static_pta.ml: Ast Hashtbl List Printf Privateer_ir Set Validate

@@ -1,0 +1,1 @@
+lib/baselines/doall_only.ml: Array Ast Ast_util Hashtbl Interp List Printf Privateer_analysis Privateer_interp Privateer_ir Privateer_parallel Privateer_profile Profiler Scalars Static_pta Value

@@ -1,0 +1,1 @@
+lib/baselines/lrpd.ml: Ast Doall_only Hashtbl Hooks Interp List Printf Privateer_analysis Privateer_interp Privateer_ir Privateer_profile Scalars Static_pta

@@ -1,0 +1,126 @@
+(* Paper Table 1: comparison of Privateer with prior privatization and
+   reduction schemes.  The static rows transcribe the paper's
+   qualitative matrix; [probe] adds a dynamic row per workload showing
+   what the three systems implemented in this repository actually do
+   on our suite (Privateer plans the hot loop; LRPD is defeated by
+   memory layout; DOALL-only parallelizes only provable loops). *)
+
+type support = Yes | No | Partial | NotApplicable
+
+let support_str = function
+  | Yes -> "yes"
+  | No -> "x"
+  | Partial -> "partial"
+  | NotApplicable -> "-"
+
+type row = {
+  technique : string;
+  fully_automatic : support;
+  pointers_dynamic_alloc : support;
+  priv_supported : support;
+  priv_criterion_beyond_static : support; (* not limited by static analysis *)
+  priv_layout_beyond_static : support;
+  redux_supported : support;
+  redux_criterion_beyond_static : support;
+  redux_layout_beyond_static : support;
+}
+
+(* Transcription of the paper's Table 1. *)
+let paper_rows =
+  [ { technique = "Paralax"; fully_automatic = No; pointers_dynamic_alloc = NotApplicable;
+      priv_supported = Yes; priv_criterion_beyond_static = NotApplicable;
+      priv_layout_beyond_static = NotApplicable; redux_supported = NotApplicable;
+      redux_criterion_beyond_static = NotApplicable;
+      redux_layout_beyond_static = NotApplicable };
+    { technique = "TL2 / Intel STM"; fully_automatic = No;
+      pointers_dynamic_alloc = NotApplicable; priv_supported = Yes;
+      priv_criterion_beyond_static = NotApplicable;
+      priv_layout_beyond_static = NotApplicable; redux_supported = NotApplicable;
+      redux_criterion_beyond_static = NotApplicable;
+      redux_layout_beyond_static = NotApplicable };
+    { technique = "PD / LRPD / R-LRPD"; fully_automatic = Yes;
+      pointers_dynamic_alloc = No; priv_supported = Yes;
+      priv_criterion_beyond_static = Yes; priv_layout_beyond_static = No;
+      redux_supported = Yes; redux_criterion_beyond_static = Yes;
+      redux_layout_beyond_static = No };
+    { technique = "Hybrid Analysis"; fully_automatic = Yes; pointers_dynamic_alloc = No;
+      priv_supported = Yes; priv_criterion_beyond_static = Yes;
+      priv_layout_beyond_static = No; redux_supported = Yes;
+      redux_criterion_beyond_static = Yes; redux_layout_beyond_static = No };
+    { technique = "Array Expansion / ASSA / DSA"; fully_automatic = Yes;
+      pointers_dynamic_alloc = No; priv_supported = Yes;
+      priv_criterion_beyond_static = No; priv_layout_beyond_static = No;
+      redux_supported = No; redux_criterion_beyond_static = NotApplicable;
+      redux_layout_beyond_static = NotApplicable };
+    { technique = "STMLite+LLVM"; fully_automatic = Yes; pointers_dynamic_alloc = Yes;
+      priv_supported = Yes; priv_criterion_beyond_static = Yes;
+      priv_layout_beyond_static = NotApplicable; redux_supported = Yes;
+      redux_criterion_beyond_static = No; redux_layout_beyond_static = No };
+    { technique = "CorD+Objects"; fully_automatic = Yes; pointers_dynamic_alloc = Yes;
+      priv_supported = Yes; priv_criterion_beyond_static = No;
+      priv_layout_beyond_static = No; redux_supported = Yes;
+      redux_criterion_beyond_static = No; redux_layout_beyond_static = No };
+    { technique = "Privateer (this work)"; fully_automatic = Yes;
+      pointers_dynamic_alloc = Yes; priv_supported = Yes;
+      priv_criterion_beyond_static = Yes; priv_layout_beyond_static = Yes;
+      redux_supported = Yes; redux_criterion_beyond_static = Yes;
+      redux_layout_beyond_static = Yes } ]
+
+let headers =
+  [ "Technique"; "Automatic"; "Ptrs+Alloc"; "Priv"; "Priv>static crit";
+    "Priv>static layout"; "Redux"; "Redux>static crit"; "Redux>static layout" ]
+
+let to_table () =
+  let t = Privateer_support.Table.create headers in
+  List.iter
+    (fun r ->
+      Privateer_support.Table.add_row t
+        [ r.technique; support_str r.fully_automatic;
+          support_str r.pointers_dynamic_alloc; support_str r.priv_supported;
+          support_str r.priv_criterion_beyond_static;
+          support_str r.priv_layout_beyond_static; support_str r.redux_supported;
+          support_str r.redux_criterion_beyond_static;
+          support_str r.redux_layout_beyond_static ])
+    paper_rows;
+  t
+
+(* Dynamic probe: for one program, what do our three implemented
+   systems do with its hottest loop? *)
+type probe = {
+  program : string;
+  privateer_plans : bool;
+  lrpd_applicable : bool;
+  lrpd_reason : string;
+  doall_proves_hot : bool;
+  doall_chosen_loops : int;
+}
+
+let probe_program ~name program profiler =
+  let selection = Privateer_analysis.Selection.select program profiler in
+  let privateer_plans = selection.plans <> [] in
+  let hot_loop =
+    match selection.plans with
+    | p :: _ -> Some p.loop
+    | [] -> (
+      match Privateer_profile.Profiler.loops_by_weight profiler with
+      | (l, _) :: _ -> Some l
+      | [] -> None)
+  in
+  let lrpd_survey = Lrpd.survey program profiler in
+  let lrpd_applicable, lrpd_reason =
+    match hot_loop with
+    | None -> (false, "no loops")
+    | Some l -> (
+      match List.find_opt (fun (l', _, _, _) -> l' = l) lrpd_survey with
+      | Some (_, _, _, Lrpd.Applicable) -> (true, "applicable")
+      | Some (_, _, _, Lrpd.Inapplicable r) -> (false, r)
+      | None -> (false, "loop not surveyed"))
+  in
+  let doall = Doall_only.select program profiler in
+  let doall_proves_hot =
+    match hot_loop with
+    | Some l -> List.exists (fun (c : Doall_only.choice) -> c.d_loop = l) doall.chosen
+    | None -> false
+  in
+  { program = name; privateer_plans; lrpd_applicable; lrpd_reason; doall_proves_hot;
+    doall_chosen_loops = List.length doall.chosen }

@@ -1,0 +1,1 @@
+lib/interp/hooks.ml: Ast Heap Privateer_ir Value

@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Ast Buffer Cost Hashtbl Heap Hooks List Machine Option Printf Privateer_ir Privateer_machine String Validate Value

@@ -1,0 +1,38 @@
+(* Cycle-cost table for the simulated machine.
+
+   The paper measures wall-clock time on a 24-core Xeon; we replace
+   the hardware with a deterministic cost model.  Only *relative*
+   costs matter for reproducing the evaluation's shape; the defaults
+   are loosely calibrated to a superscalar core (arithmetic ~1 cycle,
+   cache-hit loads ~4, allocation tens of cycles) and to the paper's
+   observation that validation is a few instructions per access.
+
+   Runtime-system costs (metadata updates, checkpointing, fork/join)
+   live in Privateer_parallel.Cost_model; this table covers only the
+   application instructions the interpreter executes. *)
+
+type t = {
+  c_arith : int;
+  c_load : int;
+  c_store : int;
+  c_branch : int;
+  c_call : int; (* call/return overhead per user-function call *)
+  c_builtin : int; (* transcendental intrinsics (sqrt, exp, ...) *)
+  c_alloc : int;
+  c_free : int;
+  c_print : int;
+  c_check_heap : int; (* separation check: bit arithmetic, paper 5.1 *)
+  c_assert_value : int; (* value-prediction check *)
+}
+
+let default =
+  { c_arith = 1; c_load = 4; c_store = 4; c_branch = 1; c_call = 10;
+    c_builtin = 20; c_alloc = 40; c_free = 20; c_print = 60; c_check_heap = 2;
+    c_assert_value = 2 }
+
+(* A free cost table: used when profiling, where simulated time must
+   not be perturbed by instrumentation (costs are still charged for
+   application instructions, just with the same table). *)
+let zero =
+  { c_arith = 0; c_load = 0; c_store = 0; c_branch = 0; c_call = 0; c_builtin = 0;
+    c_alloc = 0; c_free = 0; c_print = 0; c_check_heap = 0; c_assert_value = 0 }

@@ -1,0 +1,73 @@
+(* Instrumentation hooks fired by the interpreter.
+
+   Profilers (during the training run) and the speculative runtime
+   (during parallel execution) both observe execution through this one
+   interface, mirroring how the paper's profilers and inserted
+   validation calls intercept the same IR operations. *)
+
+open Privateer_ir
+
+type t = {
+  (* [on_load] fires after the value is read; [on_store] fires before
+     the value is written (so validators see pre-store memory). *)
+  on_load : Ast.node_id -> addr:int -> size:int -> value:Value.t -> unit;
+  on_store : Ast.node_id -> addr:int -> size:int -> value:Value.t -> unit;
+  (* [ctx] is the dynamic context: node ids of enclosing call sites and
+     loops, innermost first (paper section 4.1). *)
+  on_alloc :
+    Ast.node_id -> ctx:int list -> Ast.alloc_kind -> Heap.kind -> addr:int ->
+    size:int -> unit;
+  on_free : Ast.node_id -> addr:int -> size:int -> Heap.kind -> unit;
+  on_loop_enter : Ast.node_id -> unit;
+  on_loop_iter : Ast.node_id -> iter:int -> unit;
+  on_loop_exit : Ast.node_id -> trips:int -> unit;
+  (* Separation check outcome: [ok = false] is a misspeculation when
+     running speculatively. *)
+  on_check_heap : Ast.node_id -> addr:int -> Heap.kind -> ok:bool -> unit;
+  (* Value-prediction check outcome, with the observed value. *)
+  on_assert_value : Ast.node_id -> observed:Value.t -> expected:int -> ok:bool -> unit;
+  on_branch : Ast.node_id -> taken:bool -> unit;
+  (* A control-speculation marker was reached. *)
+  on_misspec : Ast.node_id -> reason:string -> unit;
+}
+
+let default =
+  { on_load = (fun _ ~addr:_ ~size:_ ~value:_ -> ());
+    on_store = (fun _ ~addr:_ ~size:_ ~value:_ -> ());
+    on_alloc = (fun _ ~ctx:_ _ _ ~addr:_ ~size:_ -> ());
+    on_free = (fun _ ~addr:_ ~size:_ _ -> ());
+    on_loop_enter = (fun _ -> ());
+    on_loop_iter = (fun _ ~iter:_ -> ());
+    on_loop_exit = (fun _ ~trips:_ -> ());
+    on_check_heap = (fun _ ~addr:_ _ ~ok:_ -> ());
+    on_assert_value = (fun _ ~observed:_ ~expected:_ ~ok:_ -> ());
+    on_branch = (fun _ ~taken:_ -> ());
+    on_misspec = (fun _ ~reason:_ -> ()) }
+
+(* Compose two hook sets: [a] fires before [b] on every event. *)
+let compose a b =
+  { on_load =
+      (fun id ~addr ~size ~value ->
+        a.on_load id ~addr ~size ~value;
+        b.on_load id ~addr ~size ~value);
+    on_store =
+      (fun id ~addr ~size ~value ->
+        a.on_store id ~addr ~size ~value;
+        b.on_store id ~addr ~size ~value);
+    on_alloc =
+      (fun id ~ctx kind heap ~addr ~size ->
+        a.on_alloc id ~ctx kind heap ~addr ~size;
+        b.on_alloc id ~ctx kind heap ~addr ~size);
+    on_free =
+      (fun id ~addr ~size heap -> a.on_free id ~addr ~size heap; b.on_free id ~addr ~size heap);
+    on_loop_enter = (fun id -> a.on_loop_enter id; b.on_loop_enter id);
+    on_loop_iter = (fun id ~iter -> a.on_loop_iter id ~iter; b.on_loop_iter id ~iter);
+    on_loop_exit = (fun id ~trips -> a.on_loop_exit id ~trips; b.on_loop_exit id ~trips);
+    on_check_heap =
+      (fun id ~addr heap ~ok -> a.on_check_heap id ~addr heap ~ok; b.on_check_heap id ~addr heap ~ok);
+    on_assert_value =
+      (fun id ~observed ~expected ~ok ->
+        a.on_assert_value id ~observed ~expected ~ok;
+        b.on_assert_value id ~observed ~expected ~ok);
+    on_branch = (fun id ~taken -> a.on_branch id ~taken; b.on_branch id ~taken);
+    on_misspec = (fun id ~reason -> a.on_misspec id ~reason; b.on_misspec id ~reason) }

@@ -1,0 +1,398 @@
+(* The IR interpreter: a deterministic simulated machine.
+
+   Runs a program against a Machine (paged memory + per-heap
+   allocators), firing instrumentation hooks at every memory event and
+   charging cycle costs from a cost table.  The DOALL executor
+   intercepts a chosen For loop through [parallel_for]; everything
+   else (profiling runs, sequential baselines, worker-iteration
+   execution, sequential recovery) is this same evaluator. *)
+
+open Privateer_ir
+open Privateer_machine
+
+exception Runtime_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+type frame = {
+  locals : (string, Value.t) Hashtbl.t;
+  (* Stack slots to auto-free at function exit: (alloc site, address). *)
+  mutable frame_allocs : (Ast.node_id * int) list;
+}
+
+let new_frame () = { locals = Hashtbl.create 16; frame_allocs = [] }
+
+let copy_frame fr =
+  { locals = Hashtbl.copy fr.locals; frame_allocs = fr.frame_allocs }
+
+type t = {
+  program : Ast.program;
+  machine : Machine.t;
+  globals : (string, int) Hashtbl.t; (* name -> base address *)
+  cost : Cost.t;
+  mutable hooks : Hooks.t;
+  mutable cycles : int;
+  mutable ctx : int list; (* enclosing call/loop node ids, innermost first *)
+  mutable emit : string -> unit;
+  output : Buffer.t;
+  mutable steps : int;
+  max_steps : int;
+  (* Set by the DOALL executor: called on For loops; returns true when
+     the loop was executed in parallel (skip sequential execution). *)
+  mutable parallel_for : (t -> frame -> Ast.stmt -> bool) option;
+}
+
+(* Build an interpreter over a fresh machine, laying out the program's
+   globals.  Global storage is allocated from each global's assigned
+   heap during "an initializer which runs before main" (paper 4.4). *)
+let create ?(cost = Cost.default) ?(max_steps = 4_000_000_000) ?machine program =
+  let machine = match machine with Some m -> m | None -> Machine.create () in
+  let st =
+    { program; machine; globals = Hashtbl.create 16; cost; hooks = Hooks.default;
+      cycles = 0; ctx = []; emit = (fun _ -> ()); output = Buffer.create 256;
+      steps = 0; max_steps; parallel_for = None }
+  in
+  st.emit <- (fun s -> Buffer.add_string st.output s);
+  List.iter
+    (fun (g : Ast.global) ->
+      let heap = Option.value g.gheap ~default:Heap.Default in
+      let addr = Machine.alloc machine heap (max 8 g.gbytes) in
+      Hashtbl.replace st.globals g.gname addr)
+    program.globals;
+  st
+
+let global_addr st name =
+  match Hashtbl.find_opt st.globals name with
+  | Some a -> a
+  | None -> error "unknown global %s" name
+
+(* A worker-process view of [st]: copy-on-write machine snapshot, same
+   program and global layout, independent cycle counter and output. *)
+let fork st =
+  let child =
+    { program = st.program; machine = Machine.snapshot st.machine;
+      globals = st.globals; cost = st.cost; hooks = Hooks.default; cycles = 0;
+      ctx = st.ctx; emit = (fun _ -> ()); output = Buffer.create 64; steps = 0;
+      max_steps = st.max_steps; parallel_for = None }
+  in
+  child.emit <- (fun s -> Buffer.add_string child.output s);
+  child
+
+let step st =
+  st.steps <- st.steps + 1;
+  if st.steps > st.max_steps then error "step budget exhausted (infinite loop?)"
+
+let charge st c = st.cycles <- st.cycles + c
+
+exception Break_exc
+exception Continue_exc
+exception Return_exc of Value.t
+
+let read_value st size addr =
+  match (size : Ast.size) with
+  | S1 -> Value.VInt (Machine.read_byte st.machine addr)
+  | S8 ->
+    let bits, is_float = Machine.read_word st.machine addr in
+    Value.of_bits bits is_float
+
+let write_value st size addr v =
+  match (size : Ast.size) with
+  | S1 -> Machine.write_byte st.machine addr (Value.as_int v)
+  | S8 ->
+    let bits, is_float = Value.to_bits v in
+    Machine.write_word st.machine addr bits is_float
+
+let eval_unop op v =
+  let open Value in
+  match (op : Ast.unop) with
+  | Neg -> VInt (-as_int v)
+  | Not -> of_bool (not (to_bool v))
+  | Bnot -> VInt (lnot (as_int v))
+  | Fneg -> VFloat (-.as_float v)
+  | Ftoi -> VInt (int_of_float (as_float v))
+  | Itof -> VFloat (as_float v)
+
+let eval_binop op a b =
+  let open Value in
+  let i () = (as_int a, as_int b) in
+  let f () = (as_float a, as_float b) in
+  match (op : Ast.binop) with
+  | Add -> let x, y = i () in VInt (x + y)
+  | Sub -> let x, y = i () in VInt (x - y)
+  | Mul -> let x, y = i () in VInt (x * y)
+  | Div -> let x, y = i () in if y = 0 then error "division by zero" else VInt (x / y)
+  | Rem -> let x, y = i () in if y = 0 then error "modulo by zero" else VInt (x mod y)
+  | Band -> let x, y = i () in VInt (x land y)
+  | Bor -> let x, y = i () in VInt (x lor y)
+  | Bxor -> let x, y = i () in VInt (x lxor y)
+  | Shl -> let x, y = i () in VInt (x lsl y)
+  | Shr -> let x, y = i () in VInt (x lsr y)
+  | Lt -> let x, y = i () in of_bool (x < y)
+  | Le -> let x, y = i () in of_bool (x <= y)
+  | Gt -> let x, y = i () in of_bool (x > y)
+  | Ge -> let x, y = i () in of_bool (x >= y)
+  | Eq -> of_bool (equal a b)
+  | Ne -> of_bool (not (equal a b))
+  | Fadd -> let x, y = f () in VFloat (x +. y)
+  | Fsub -> let x, y = f () in VFloat (x -. y)
+  | Fmul -> let x, y = f () in VFloat (x *. y)
+  | Fdiv -> let x, y = f () in VFloat (x /. y)
+  | Flt -> let x, y = f () in of_bool (x < y)
+  | Fle -> let x, y = f () in of_bool (x <= y)
+  | Fgt -> let x, y = f () in of_bool (x > y)
+  | Fge -> let x, y = f () in of_bool (x >= y)
+  | Feq -> let x, y = f () in of_bool (x = y)
+  | Fne -> let x, y = f () in of_bool (x <> y)
+
+let eval_builtin st name args =
+  charge st st.cost.c_builtin;
+  let open Value in
+  let f1 f = match args with [ a ] -> VFloat (f (as_float a)) | _ -> error "%s: arity" name in
+  let f2 f =
+    match args with
+    | [ a; b ] -> VFloat (f (as_float a) (as_float b))
+    | _ -> error "%s: arity" name
+  in
+  let i2 f =
+    match args with
+    | [ a; b ] -> VInt (f (as_int a) (as_int b))
+    | _ -> error "%s: arity" name
+  in
+  match name with
+  | "sqrt" -> f1 sqrt
+  | "exp" -> f1 exp
+  | "log" -> f1 log
+  | "sin" -> f1 sin
+  | "cos" -> f1 cos
+  | "fabs" -> f1 abs_float
+  | "floor" -> f1 floor
+  | "pow" -> f2 ( ** )
+  | "fmin" -> f2 min
+  | "fmax" -> f2 max
+  | "min" -> i2 min
+  | "max" -> i2 max
+  | "abs" -> (match args with [ a ] -> VInt (abs (as_int a)) | _ -> error "abs: arity")
+  | _ -> error "unknown builtin %s" name
+
+(* printf-style rendering: %d, %f, %x, %%. *)
+let render_format fmt args =
+  let buf = Buffer.create (String.length fmt + 16) in
+  let args = ref args in
+  let next () =
+    match !args with
+    | [] -> error "print: not enough arguments for %S" fmt
+    | a :: rest ->
+      args := rest;
+      a
+  in
+  let n = String.length fmt in
+  let i = ref 0 in
+  while !i < n do
+    (if fmt.[!i] = '%' && !i + 1 < n then begin
+       (match fmt.[!i + 1] with
+       | 'd' -> Buffer.add_string buf (string_of_int (Value.as_int (next ())))
+       | 'f' -> Buffer.add_string buf (Printf.sprintf "%.6f" (Value.as_float (next ())))
+       | 'x' -> Buffer.add_string buf (Printf.sprintf "%x" (Value.as_int (next ())))
+       | '%' -> Buffer.add_char buf '%'
+       | c -> error "print: bad directive %%%c" c);
+       i := !i + 2
+     end
+     else begin
+       Buffer.add_char buf fmt.[!i];
+       incr i
+     end)
+  done;
+  if !args <> [] then error "print: too many arguments for %S" fmt;
+  Buffer.contents buf
+
+let rec eval st fr (e : Ast.expr) : Value.t =
+  step st;
+  match e with
+  | Int n -> VInt n
+  | Float f -> VFloat f
+  | Local name -> (
+    match Hashtbl.find_opt fr.locals name with
+    | Some v -> v
+    | None -> error "unbound local %s" name)
+  | Global_addr g -> VInt (global_addr st g)
+  | Load (id, size, ea) ->
+    let addr = Value.as_int (eval st fr ea) in
+    charge st st.cost.c_load;
+    let v = read_value st size addr in
+    st.hooks.on_load id ~addr ~size:(Ast.bytes_of_size size) ~value:v;
+    v
+  | Unop (op, a) ->
+    let v = eval st fr a in
+    charge st st.cost.c_arith;
+    eval_unop op v
+  | Binop (op, a, b) ->
+    let va = eval st fr a in
+    let vb = eval st fr b in
+    charge st st.cost.c_arith;
+    eval_binop op va vb
+  | And (a, b) ->
+    charge st st.cost.c_branch;
+    if Value.to_bool (eval st fr a) then Value.of_bool (Value.to_bool (eval st fr b))
+    else Value.VInt 0
+  | Or (a, b) ->
+    charge st st.cost.c_branch;
+    if Value.to_bool (eval st fr a) then Value.VInt 1
+    else Value.of_bool (Value.to_bool (eval st fr b))
+  | Call (id, fname, arg_exprs) ->
+    let args = List.map (eval st fr) arg_exprs in
+    if Validate.is_builtin fname then eval_builtin st fname args
+    else call_function st id fname args
+  | Alloc (id, kind, heap, size_e) ->
+    let size = Value.as_int (eval st fr size_e) in
+    if size < 0 then error "negative allocation size %d" size;
+    charge st st.cost.c_alloc;
+    let heap =
+      match (heap, kind) with
+      | Some h, _ -> h
+      | None, Ast.Malloc -> Heap.Default
+      | None, Ast.Salloc -> Heap.Stack
+    in
+    let addr = Machine.alloc st.machine heap size in
+    st.hooks.on_alloc id ~ctx:st.ctx kind heap ~addr ~size;
+    (match kind with
+    | Salloc -> fr.frame_allocs <- (id, addr) :: fr.frame_allocs
+    | Malloc -> ());
+    VInt addr
+
+and call_function st id fname args =
+  match Ast.find_func st.program fname with
+  | None -> error "call to undefined function %s" fname
+  | Some f ->
+    if List.length f.params <> List.length args then
+      error "%s: expected %d arguments, got %d" fname (List.length f.params)
+        (List.length args);
+    charge st st.cost.c_call;
+    let fr = new_frame () in
+    List.iter2 (fun p v -> Hashtbl.replace fr.locals p v) f.params args;
+    let saved_ctx = st.ctx in
+    st.ctx <- id :: st.ctx;
+    let result =
+      try
+        exec_block st fr f.body;
+        Value.VInt 0
+      with Return_exc v -> v
+    in
+    (* Auto-free stack slots on every function exit (paper 4.4). *)
+    List.iter
+      (fun (alloc_id, addr) ->
+        charge st st.cost.c_free;
+        let heap, size = Machine.free st.machine addr in
+        st.hooks.on_free alloc_id ~addr ~size heap)
+      fr.frame_allocs;
+    st.ctx <- saved_ctx;
+    result
+
+and exec_block st fr blk = List.iter (exec_stmt st fr) blk
+
+and exec_stmt st fr (s : Ast.stmt) =
+  step st;
+  match s with
+  | Assign (name, e) -> Hashtbl.replace fr.locals name (eval st fr e)
+  | Store (id, size, ea, ev) ->
+    let addr = Value.as_int (eval st fr ea) in
+    let v = eval st fr ev in
+    charge st st.cost.c_store;
+    st.hooks.on_store id ~addr ~size:(Ast.bytes_of_size size) ~value:v;
+    write_value st size addr v
+  | If (id, c, b1, b2) ->
+    charge st st.cost.c_branch;
+    let taken = Value.to_bool (eval st fr c) in
+    st.hooks.on_branch id ~taken;
+    if taken then exec_block st fr b1 else exec_block st fr b2
+  | While (id, cond, body) ->
+    st.hooks.on_loop_enter id;
+    let saved_ctx = st.ctx in
+    st.ctx <- id :: st.ctx;
+    let iter = ref 0 in
+    (try
+       let continue_loop = ref true in
+       while !continue_loop do
+         charge st st.cost.c_branch;
+         if Value.to_bool (eval st fr cond) then begin
+           st.hooks.on_loop_iter id ~iter:!iter;
+           (try exec_block st fr body with Continue_exc -> ());
+           incr iter
+         end
+         else continue_loop := false
+       done
+     with Break_exc -> ());
+    st.ctx <- saved_ctx;
+    st.hooks.on_loop_exit id ~trips:!iter
+  | For (_, var, init_e, limit_e, _) as loop -> (
+    match st.parallel_for with
+    | Some handler when handler st fr loop -> ()
+    | Some _ | None ->
+      let id, body =
+        match loop with
+        | For (id, _, _, _, body) -> (id, body)
+        | _ -> assert false
+      in
+      let init = Value.as_int (eval st fr init_e) in
+      let limit = Value.as_int (eval st fr limit_e) in
+      st.hooks.on_loop_enter id;
+      let saved_ctx = st.ctx in
+      st.ctx <- id :: st.ctx;
+      Hashtbl.replace fr.locals var (Value.VInt init);
+      let iter = ref 0 in
+      (try
+         let continue_loop = ref true in
+         while !continue_loop do
+           charge st st.cost.c_branch;
+           let v = Value.as_int (Hashtbl.find fr.locals var) in
+           if v < limit then begin
+             st.hooks.on_loop_iter id ~iter:!iter;
+             (try exec_block st fr body with Continue_exc -> ());
+             incr iter;
+             let v' = Value.as_int (Hashtbl.find fr.locals var) in
+             Hashtbl.replace fr.locals var (Value.VInt (v' + 1))
+           end
+           else continue_loop := false
+         done
+       with Break_exc -> ());
+      st.ctx <- saved_ctx;
+      st.hooks.on_loop_exit id ~trips:!iter)
+  | Expr e -> ignore (eval st fr e)
+  | Free (id, _, pe) ->
+    let addr = Value.as_int (eval st fr pe) in
+    charge st st.cost.c_free;
+    let heap, size = Machine.free st.machine addr in
+    st.hooks.on_free id ~addr ~size heap
+  | Return (Some e) -> raise (Return_exc (eval st fr e))
+  | Return None -> raise (Return_exc (Value.VInt 0))
+  | Break -> raise Break_exc
+  | Continue -> raise Continue_exc
+  | Print (_, fmt, arg_exprs) ->
+    let args = List.map (eval st fr) arg_exprs in
+    charge st st.cost.c_print;
+    st.emit (render_format fmt args)
+  | Check_heap (id, pe, heap) ->
+    let addr = Value.as_int (eval st fr pe) in
+    charge st st.cost.c_check_heap;
+    st.hooks.on_check_heap id ~addr heap ~ok:(Heap.check addr heap)
+  | Assert_value (id, e, expected) ->
+    let v = eval st fr e in
+    charge st st.cost.c_assert_value;
+    st.hooks.on_assert_value id ~observed:v ~expected
+      ~ok:(Value.equal v (Value.VInt expected))
+  | Misspec (id, reason) -> st.hooks.on_misspec id ~reason
+
+(* Run the program's entry function.  Returns the entry's return value. *)
+let run_entry st =
+  match Ast.find_func st.program st.program.entry with
+  | None -> error "entry function %s not found" st.program.entry
+  | Some _ ->
+    let id = 0 (* synthetic call-site id for the entry invocation *) in
+    call_function st id st.program.entry []
+
+let output st = Buffer.contents st.output
+
+(* One-shot convenience: build, run, return (state, result). *)
+let run ?cost ?max_steps program =
+  let st = create ?cost ?max_steps program in
+  let result = run_entry st in
+  (st, result)

@@ -1,0 +1,30 @@
+(** Runtime values: 63-bit integers (doubling as pointers) and floats,
+    with the word encoding used by the simulated memory. *)
+
+type t = VInt of int | VFloat of float
+
+val int : int -> t
+val float : float -> t
+
+(** C-style truthiness: zero (of either kind) is false. *)
+val to_bool : t -> bool
+
+val of_bool : bool -> t
+
+exception Type_error of string
+
+(** @raise Type_error on floats. *)
+val as_int : t -> int
+
+(** Integers coerce to floats. *)
+val as_float : t -> float
+
+(** [(bits, is_float)] word image for memory. *)
+val to_bits : t -> int64 * bool
+
+val of_bits : int64 -> bool -> t
+
+(** Structural equality; NaN equals NaN (determinism over IEEE). *)
+val equal : t -> t -> bool
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/ir/ast.pp.ml: Heap List Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/ir/heap.pp.ml: Ppx_deriving_runtime Printf

@@ -1,0 +1,1 @@
+lib/ir/heap.pp.mli: Format

@@ -1,0 +1,1 @@
+lib/ir/pp.pp.ml: Ast Heap List Printf String

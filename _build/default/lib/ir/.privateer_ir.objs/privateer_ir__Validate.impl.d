@@ -1,0 +1,1 @@
+lib/ir/validate.pp.ml: Ast Hashtbl List Printf String

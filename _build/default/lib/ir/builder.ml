@@ -1,0 +1,53 @@
+(* Convenience layer for constructing IR programs in OCaml.
+
+   The Cmini parser uses this to assign fresh node ids; tests and
+   examples use it to build small programs without writing surface
+   syntax. *)
+
+type t = { mutable next : int }
+
+let create ?(first_id = 1) () = { next = first_id }
+
+let fresh t =
+  let id = t.next in
+  t.next <- t.next + 1;
+  id
+
+open Ast
+
+let int n = Int n
+let float f = Float f
+let local n = Local n
+let gaddr n = Global_addr n
+let load ?(size = S8) t addr = Load (fresh t, size, addr)
+let unop op e = Unop (op, e)
+let binop op a b = Binop (op, a, b)
+let add a b = Binop (Add, a, b)
+let sub a b = Binop (Sub, a, b)
+let mul a b = Binop (Mul, a, b)
+let lt a b = Binop (Lt, a, b)
+let eq a b = Binop (Eq, a, b)
+let ne a b = Binop (Ne, a, b)
+let call t fn args = Call (fresh t, fn, args)
+let malloc t size = Alloc (fresh t, Malloc, None, size)
+let salloc t size = Alloc (fresh t, Salloc, None, size)
+
+(* Address of the i-th 8-byte word of [base]. *)
+let word base i = Binop (Add, base, Binop (Mul, Int 8, i))
+
+let assign n e = Assign (n, e)
+let store ?(size = S8) t addr v = Store (fresh t, size, addr, v)
+let if_ t c b1 b2 = If (fresh t, c, b1, b2)
+let while_ t c body = While (fresh t, c, body)
+let for_ t var init limit body = For (fresh t, var, init, limit, body)
+let expr e = Expr e
+let free t p = Free (fresh t, None, p)
+let ret e = Return (Some e)
+let ret_void = Return None
+let print t fmt args = Print (fresh t, fmt, args)
+
+let func name params body = { fname = name; params; body }
+let global ?heap name bytes = { gname = name; gbytes = bytes; gheap = heap }
+
+let program t ~globals ~funcs ~entry =
+  { globals; funcs; entry; next_id = t.next }

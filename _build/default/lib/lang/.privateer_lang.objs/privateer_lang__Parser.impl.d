@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Ast Builder Hashtbl Lexer List Printf Privateer_ir Validate

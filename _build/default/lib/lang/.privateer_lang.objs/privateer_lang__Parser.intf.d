@@ -1,0 +1,1 @@
+lib/lang/parser.mli: Privateer_ir

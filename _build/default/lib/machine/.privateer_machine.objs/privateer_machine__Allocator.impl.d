@@ -1,0 +1,1 @@
+lib/machine/allocator.ml: Hashtbl Heap Printf Privateer_ir

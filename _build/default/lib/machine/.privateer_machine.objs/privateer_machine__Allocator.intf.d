@@ -1,0 +1,1 @@
+lib/machine/allocator.mli: Privateer_ir

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Allocator Array Heap Int64 List Memory Privateer_ir

@@ -1,0 +1,36 @@
+(** Per-heap allocator: bump pointer plus exact-size free lists.
+
+    Every address carries its heap's tag (paper section 5.1); freed
+    ranges are recycled same-size-first, which exercises the
+    profiler's interval-map eviction. *)
+
+type t
+
+val create : Privateer_ir.Heap.kind -> t
+
+(** Deep copy; the copy evolves independently (worker snapshot). *)
+val copy : t -> t
+
+(** Allocate at least [size] bytes (16-byte aligned and rounded);
+    the address lies within the heap's tagged range.
+    @raise Invalid_argument on negative size
+    @raise Failure when the heap's 16 TB range is exhausted. *)
+val alloc : t -> int -> int
+
+(** Free a live allocation, returning its (rounded) size.
+    @raise Failure on double free or foreign pointers. *)
+val free : t -> int -> int
+
+val live_count : t -> int
+val total_allocs : t -> int
+val is_live : t -> int -> bool
+val live_size : t -> int -> int option
+
+(** Highest bump offset reached (allocator commit support). *)
+val bump : t -> int
+
+(** Raise the bump pointer to at least [b] (never lowers it). *)
+val raise_bump : t -> int -> unit
+
+(** Drop all live objects and free lists. *)
+val reset : t -> unit

@@ -1,0 +1,146 @@
+(* Byte-addressable memory with 4 KiB pages and copy-on-write snapshots.
+
+   This stands in for the paper's POSIX shm/mmap substrate: each
+   simulated worker process owns a page table; [snapshot] gives a
+   child the parent's pages with copy-on-write semantics, exactly the
+   mechanism the Privateer runtime uses to replicate a logical heap's
+   storage without changing virtual addresses (paper section 5.1).
+
+   Unmapped pages read as zero, so the shadow heap's metadata starts
+   at code 0 (live-in) with no explicit initialization, as in the
+   paper.
+
+   Because the interpreter is dynamically typed, each 8-byte-aligned
+   word carries a one-byte "float tag" recording whether the last full
+   word store was a float; partial (byte) stores clear the tag. *)
+
+let page_shift = 12
+let page_size = 1 lsl page_shift
+let words_per_page = page_size / 8
+
+type page = {
+  bytes : Bytes.t;
+  ftags : Bytes.t;
+  mutable shared : bool;
+      (* true when this page object may be referenced by another page
+         table; a write must clone first (copy-on-write). *)
+}
+
+type t = {
+  pages : (int, page) Hashtbl.t; (* page number -> page *)
+  dirty : (int, unit) Hashtbl.t; (* pages written since last [clear_dirty] *)
+}
+
+let create () = { pages = Hashtbl.create 64; dirty = Hashtbl.create 64 }
+
+let fresh_page () =
+  { bytes = Bytes.make page_size '\000'; ftags = Bytes.make words_per_page '\000';
+    shared = false }
+
+let clone_page p =
+  { bytes = Bytes.copy p.bytes; ftags = Bytes.copy p.ftags; shared = false }
+
+(* Copy-on-write child: shares every current page with the parent.
+   Both sides will clone a shared page on first write. *)
+let snapshot t =
+  let child = create () in
+  Hashtbl.iter
+    (fun key page ->
+      page.shared <- true;
+      Hashtbl.replace child.pages key page)
+    t.pages;
+  child
+
+let page_of_addr addr = addr lsr page_shift
+let offset_of_addr addr = addr land (page_size - 1)
+
+(* Page for reading: never allocates; None means all-zero. *)
+let read_page t addr = Hashtbl.find_opt t.pages (page_of_addr addr)
+
+(* Page for writing: allocates or clones as needed, marks dirty. *)
+let write_page t addr =
+  let key = page_of_addr addr in
+  Hashtbl.replace t.dirty key ();
+  match Hashtbl.find_opt t.pages key with
+  | None ->
+    let p = fresh_page () in
+    Hashtbl.replace t.pages key p;
+    p
+  | Some p when p.shared ->
+    let p' = clone_page p in
+    Hashtbl.replace t.pages key p';
+    p'
+  | Some p -> p
+
+let read_byte t addr =
+  match read_page t addr with
+  | None -> 0
+  | Some p -> Char.code (Bytes.get p.bytes (offset_of_addr addr))
+
+let write_byte t addr v =
+  let p = write_page t addr in
+  let off = offset_of_addr addr in
+  Bytes.set p.bytes off (Char.chr (v land 0xff));
+  (* A partial store invalidates the word's float tag. *)
+  Bytes.set p.ftags (off lsr 3) '\000'
+
+(* Raw 8-byte little-endian read; [is_float] is the word's float tag
+   (only meaningful for aligned access within one page). *)
+let read_word t addr =
+  let off = offset_of_addr addr in
+  if off land 7 = 0 then
+    match read_page t addr with
+    | None -> (0L, false)
+    | Some p ->
+      (Bytes.get_int64_le p.bytes off, Bytes.get p.ftags (off lsr 3) <> '\000')
+  else begin
+    (* Unaligned (possibly page-crossing): assemble byte by byte. *)
+    let v = ref 0L in
+    for i = 7 downto 0 do
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (read_byte t (addr + i)))
+    done;
+    (!v, false)
+  end
+
+let write_word t addr bits is_float =
+  let off = offset_of_addr addr in
+  if off land 7 = 0 then begin
+    let p = write_page t addr in
+    Bytes.set_int64_le p.bytes off bits;
+    Bytes.set p.ftags (off lsr 3) (if is_float then '\001' else '\000')
+  end
+  else
+    for i = 0 to 7 do
+      write_byte t (addr + i)
+        (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff)
+    done
+
+let dirty_pages t = Hashtbl.fold (fun k () acc -> k :: acc) t.dirty []
+let clear_dirty t = Hashtbl.reset t.dirty
+let dirty_count t = Hashtbl.length t.dirty
+
+(* Install [src]'s page [key] into [dst] (used by checkpoint commit and
+   recovery).  The page is copied so later writes don't alias. *)
+let copy_page_into ~dst ~src key =
+  (match Hashtbl.find_opt src.pages key with
+  | None -> Hashtbl.remove dst.pages key
+  | Some p -> Hashtbl.replace dst.pages key (clone_page p));
+  Hashtbl.replace dst.dirty key ()
+
+(* All page numbers mapped in [t] (zero pages excluded). *)
+let mapped_pages t = Hashtbl.fold (fun k _ acc -> k :: acc) t.pages []
+
+(* Byte-for-byte equality of an address range across two memories;
+   unmapped pages compare as zero. *)
+let equal_range a b lo hi =
+  let rec go addr = addr >= hi || (read_byte a addr = read_byte b addr && go (addr + 1)) in
+  go lo
+
+(* Compare the full mapped footprint of two memories. *)
+let equal_footprint a b =
+  let keys = List.sort_uniq compare (mapped_pages a @ mapped_pages b) in
+  List.for_all
+    (fun key ->
+      let lo = key lsl page_shift in
+      equal_range a b lo (lo + page_size))
+    keys

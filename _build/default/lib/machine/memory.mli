@@ -1,0 +1,53 @@
+(** Byte-addressable memory with 4 KiB pages and copy-on-write
+    snapshots — the stand-in for the paper's POSIX shm/mmap substrate.
+
+    Unmapped pages read as zero (so shadow metadata starts at code 0,
+    live-in, with no initialization).  Each 8-byte-aligned word carries
+    a float tag so the dynamically-typed interpreter can round-trip
+    floats; partial (byte) stores clear the tag. *)
+
+val page_shift : int
+val page_size : int
+val words_per_page : int
+
+type t
+
+val create : unit -> t
+
+(** Copy-on-write child sharing every current page with the parent;
+    either side's first write to a shared page clones it. *)
+val snapshot : t -> t
+
+val page_of_addr : int -> int
+val offset_of_addr : int -> int
+
+(** Read one byte (0 for unmapped memory). *)
+val read_byte : t -> int -> int
+
+(** Write one byte (low 8 bits of [v]); clears the containing word's
+    float tag. *)
+val write_byte : t -> int -> int -> unit
+
+(** Raw 8-byte little-endian read: [(bits, is_float)].  The float tag
+    is only meaningful for aligned, same-page access. *)
+val read_word : t -> int -> int64 * bool
+
+val write_word : t -> int -> int64 -> bool -> unit
+
+(** Pages written since the last [clear_dirty] (page numbers). *)
+val dirty_pages : t -> int list
+
+val clear_dirty : t -> unit
+val dirty_count : t -> int
+
+(** Deep-copy [src]'s page [key] into [dst] (checkpoint restore). *)
+val copy_page_into : dst:t -> src:t -> int -> unit
+
+(** All mapped page numbers. *)
+val mapped_pages : t -> int list
+
+(** Byte-for-byte equality over [\[lo, hi)]; unmapped reads as zero. *)
+val equal_range : t -> t -> int -> int -> bool
+
+(** Equality over the union of both memories' mapped pages. *)
+val equal_footprint : t -> t -> bool

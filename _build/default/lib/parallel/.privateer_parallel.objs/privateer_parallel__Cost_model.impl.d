@@ -1,0 +1,1 @@
+lib/parallel/cost_model.ml: Privateer_interp

@@ -1,0 +1,34 @@
+(* Runtime-system cost parameters for the simulated parallel machine.
+
+   These stand in for the paper's measured overheads on the 24-core
+   Xeon: fork latency dominates spawn, checkpoint costs are
+   page-granular copies, and privacy validation is a few instructions
+   of metadata arithmetic per access (paper sections 5.1-5.2, Figure
+   8).  Only relative magnitudes matter for reproducing the
+   evaluation's shape; the ablation bench sweeps them. *)
+
+type t = {
+  base : Privateer_interp.Cost.t; (* application instruction costs *)
+  c_private_read : int; (* shadow metadata check per private-byte read *)
+  c_private_write : int; (* shadow metadata update per private-byte write *)
+  c_check_heap : int; (* non-elided separation check (bit arithmetic) *)
+  c_fork : int; (* per-worker process spawn latency *)
+  c_join : int; (* per-invocation join / final-commit fixed cost *)
+  c_checkpoint_base : int; (* per worker per checkpoint fixed cost *)
+  c_checkpoint_page : int; (* copying one dirty page into a checkpoint *)
+  c_merge_page : int; (* merging/validating one contributed page *)
+  c_reset_page : int; (* metadata-reset scan of one shadow page *)
+  c_prediction : int; (* per value prediction per iteration *)
+}
+
+(* Calibration note: the paper's fork latency (~hundreds of
+   microseconds) is amortized over loops running for seconds; our
+   inputs are scaled down by roughly three orders of magnitude, so the
+   fixed runtime costs are scaled to keep the same *ratios* to loop
+   work.  EXPERIMENTS.md records the calibration; the ablation bench
+   sweeps these. *)
+let default =
+  { base = Privateer_interp.Cost.default; c_private_read = 4; c_private_write = 4;
+    c_check_heap = 2; c_fork = 1_200; c_join = 800; c_checkpoint_base = 400;
+    c_checkpoint_page = 150; c_merge_page = 200; c_reset_page = 80;
+    c_prediction = 12 }

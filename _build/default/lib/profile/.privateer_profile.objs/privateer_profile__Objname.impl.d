@@ -1,0 +1,1 @@
+lib/profile/objname.ml: Ast Int List Map Printf Privateer_ir Set String

@@ -1,0 +1,1 @@
+lib/profile/objname.mli: Map Privateer_ir Set

@@ -1,0 +1,1 @@
+lib/profile/profiler.ml: Ast Hashtbl Hooks Interp Interval_map List Objname Privateer_interp Privateer_ir Privateer_support Value

@@ -1,0 +1,1 @@
+lib/profile/profiler.mli: Objname Privateer_interp Privateer_ir

@@ -1,0 +1,60 @@
+(* Static names for memory objects (paper section 4.1).
+
+   Globals are named by their source name.  Dynamic objects (malloc,
+   stack slots) are named by their allocation site plus the *dynamic
+   context* — the chain of call-site/loop node ids enclosing the
+   allocation — so that one static instruction allocating in several
+   contexts yields distinguishable names (the paper's dijkstra example
+   names line-11 nodes differently when enqueueQ is called from line
+   60 vs line 74). *)
+
+open Privateer_ir
+
+type t =
+  | Global of string
+  | Site of Ast.node_id * int list (* alloc site, enclosing context *)
+  | Unknown (* an access the profiler could not map to any live object *)
+
+let rank = function Global _ -> 0 | Site _ -> 1 | Unknown -> 2
+
+let compare a b =
+  match (a, b) with
+  | Global x, Global y -> String.compare x y
+  | Site (s1, c1), Site (s2, c2) ->
+    let c = Int.compare s1 s2 in
+    if c <> 0 then c else List.compare Int.compare c1 c2
+  | Unknown, Unknown -> 0
+  | (Global _ | Site _ | Unknown), _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let to_string = function
+  | Global g -> g
+  | Site (site, []) -> Printf.sprintf "alloc@%d" site
+  | Site (site, ctx) ->
+    Printf.sprintf "alloc@%d[%s]" site (String.concat "," (List.map string_of_int ctx))
+  | Unknown -> "<unknown>"
+
+(* The static allocation site behind a name: globals are their own
+   site (the paper's Table 3 counts globals among the "static
+   allocation sites" assigned to each heap). *)
+type site = Global_site of string | Alloc_site of Ast.node_id | Unknown_site
+
+let site_of = function
+  | Global g -> Global_site g
+  | Site (s, _) -> Alloc_site s
+  | Unknown -> Unknown_site
+
+let site_to_string = function
+  | Global_site g -> "global " ^ g
+  | Alloc_site s -> Printf.sprintf "alloc@%d" s
+  | Unknown_site -> "<unknown>"
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

@@ -1,0 +1,26 @@
+(** Static names for memory objects (paper section 4.1).
+
+    Globals are named by source name; dynamic objects by their
+    allocation site plus the enclosing dynamic context (call-site and
+    loop node ids), so one static instruction allocating in different
+    contexts yields distinguishable names. *)
+
+type t =
+  | Global of string
+  | Site of Privateer_ir.Ast.node_id * int list
+      (** allocation site, enclosing context (innermost first) *)
+  | Unknown  (** an access the profiler could not map to any object *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_string : t -> string
+
+(** The static allocation site behind a name; the paper's Table 3
+    counts globals among the "static allocation sites". *)
+type site = Global_site of string | Alloc_site of Privateer_ir.Ast.node_id | Unknown_site
+
+val site_of : t -> site
+val site_to_string : site -> string
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

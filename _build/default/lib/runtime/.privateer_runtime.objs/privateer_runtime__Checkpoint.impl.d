@@ -1,0 +1,1 @@
+lib/runtime/checkpoint.ml: Hashtbl Heap List Machine Memory Misspec Privateer_analysis Privateer_interp Privateer_ir Privateer_machine Shadow Value

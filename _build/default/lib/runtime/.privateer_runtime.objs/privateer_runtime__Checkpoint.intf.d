@@ -1,0 +1,1 @@
+lib/runtime/checkpoint.mli: Hashtbl Misspec Privateer_interp Privateer_ir Privateer_machine Value

@@ -1,0 +1,1 @@
+lib/runtime/deferred_io.mli:

@@ -1,0 +1,1 @@
+lib/runtime/misspec.ml: Printf Privateer_ir

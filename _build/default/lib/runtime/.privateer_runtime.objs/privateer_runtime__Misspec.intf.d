@@ -1,0 +1,1 @@
+lib/runtime/misspec.mli: Privateer_ir

@@ -1,0 +1,1 @@
+lib/runtime/shadow.ml: Heap List Machine Memory Misspec Privateer_ir Privateer_machine

@@ -1,0 +1,182 @@
+(* Checkpoint objects and the two-phase privacy validation
+   (paper sections 5.1-5.2).
+
+   Per checkpoint interval, each worker contributes its speculative
+   state: the private bytes it wrote (with the writing iteration
+   decoded from shadow timestamps), the bytes it read as live-in, a
+   snapshot of its reduction partials, its register-reduction
+   partials, and its deferred output.  Merging performs:
+
+   - phase-2 privacy validation: a byte one worker read as live-in
+     must not have been written by another worker (conservatively, at
+     any earlier point);
+   - last-writer-wins combination of private bytes across workers by
+     iteration number, yielding the overlay to commit onto the main
+     process's heaps. *)
+
+open Privateer_ir
+open Privateer_machine
+open Privateer_interp
+
+type word_write = { iter : int; bits : int64; is_float : bool }
+
+type contribution = {
+  worker : int;
+  (* private word address -> latest write this interval.  Word
+     granularity preserves the float tags of the simulated memory; the
+     iteration is the latest timestamp among the word's bytes. *)
+  writes : (int, word_write) Hashtbl.t;
+  (* byte addresses this worker read as live-in (metadata 2) *)
+  live_in_reads : (int, unit) Hashtbl.t;
+  (* snapshot of the worker's reduction-heap partials *)
+  redux_words : (int * int64 * bool) list;
+  (* register-reduction partials *)
+  reg_partials : (string * Value.t) list;
+  pages_touched : int; (* for checkpoint copy cost accounting *)
+}
+
+(* Extract a worker's interval contribution by scanning the pages it
+   dirtied since the interval started.  [interval_start] decodes
+   shadow timestamps into iteration numbers. *)
+let contribution_of_worker ~worker ~interval_start (machine : Machine.t)
+    ~redux_ranges ~reg_partials =
+  let mem = machine.Machine.mem in
+  let writes = Hashtbl.create 256 in
+  let live_in_reads = Hashtbl.create 16 in
+  let dirty = Memory.dirty_pages mem in
+  let shadow_pages =
+    List.filter
+      (fun key -> Heap.equal_kind (Heap.heap_of_addr (key * Memory.page_size)) Heap.Shadow)
+      dirty
+  in
+  List.iter
+    (fun key ->
+      let base = key * Memory.page_size in
+      for off = 0 to Memory.page_size - 1 do
+        let shadow_addr = base + off in
+        let m = Memory.read_byte mem shadow_addr in
+        if Shadow.is_timestamp m then begin
+          let private_addr = Heap.private_of_shadow shadow_addr in
+          let word_addr = private_addr land lnot 7 in
+          let iter = Shadow.iteration_of_timestamp ~interval_start m in
+          let keep =
+            match Hashtbl.find_opt writes word_addr with
+            | Some prev -> iter > prev.iter
+            | None -> true
+          in
+          if keep then begin
+            let bits, is_float = Memory.read_word mem word_addr in
+            Hashtbl.replace writes word_addr { iter; bits; is_float }
+          end
+        end
+        else if m = Shadow.read_live_in then
+          Hashtbl.replace live_in_reads (Heap.private_of_shadow shadow_addr) ()
+      done)
+    shadow_pages;
+  let redux_words =
+    List.concat_map
+      (fun (base, size, _op) ->
+        let words = (size + 7) / 8 in
+        List.init words (fun w ->
+            let addr = base + (8 * w) in
+            let bits, is_float = Memory.read_word mem addr in
+            (addr, bits, is_float)))
+      redux_ranges
+  in
+  { worker; writes; live_in_reads; redux_words; reg_partials;
+    pages_touched = List.length dirty }
+
+type merged = {
+  (* word address -> the interval's winning (latest-iteration) write *)
+  overlay : (int, word_write) Hashtbl.t;
+  (* per-worker redux snapshots and register partials, kept for
+     recovery and final commit *)
+  contributions : contribution list;
+  violation : Misspec.reason option;
+  total_pages : int;
+}
+
+(* Phase-2 validation + last-writer-wins merge. *)
+let merge (contribs : contribution list) =
+  let overlay = Hashtbl.create 1024 in
+  let violation = ref None in
+  (* Last-writer-wins across workers. *)
+  List.iter
+    (fun c ->
+      Hashtbl.iter
+        (fun addr (w : word_write) ->
+          match Hashtbl.find_opt overlay addr with
+          | Some prev when prev.iter >= w.iter -> ()
+          | Some _ | None -> Hashtbl.replace overlay addr w)
+        c.writes)
+    contribs;
+  (* Phase 2: a live-in read by worker w conflicts with any write to
+     the same byte by a different worker (conservative: regardless of
+     iteration order, as in the paper's one-byte-metadata design). *)
+  List.iter
+    (fun reader ->
+      if !violation = None then
+        Hashtbl.iter
+          (fun addr () ->
+            if !violation = None then
+              let word = addr land lnot 7 in
+              List.iter
+                (fun writer ->
+                  if writer.worker <> reader.worker && Hashtbl.mem writer.writes word
+                  then violation := Some (Misspec.Phase2 { addr }))
+                contribs)
+          reader.live_in_reads)
+    contribs;
+  let total_pages = List.fold_left (fun acc c -> acc + c.pages_touched) 0 contribs in
+  { overlay; contributions = contribs; violation = !violation; total_pages }
+
+(* Install a merged overlay into the main process's memory (the
+   paper's "replaces its heaps with those from the last valid
+   checkpoint" uses mmap; we write the bytes). *)
+let apply_overlay (machine : Machine.t) merged =
+  Hashtbl.iter
+    (fun addr (w : word_write) ->
+      Memory.write_word machine.Machine.mem addr w.bits w.is_float)
+    merged.overlay
+
+(* Combine worker reduction partials over the base (pre-interval)
+   values: final = base op partial_1 op ... op partial_n. *)
+let merge_redux ~(redux_ranges : (int * int * Privateer_ir.Ast.binop) list)
+    ~(base : (int * Value.t) list) (contribs : contribution list) =
+  let op_of addr =
+    List.find_map
+      (fun (b, s, op) -> if addr >= b && addr < b + s then Some op else None)
+      redux_ranges
+  in
+  List.map
+    (fun (addr, base_v) ->
+      let op = match op_of addr with Some op -> op | None -> assert false in
+      let v =
+        List.fold_left
+          (fun acc c ->
+            match List.find_opt (fun (a, _, _) -> a = addr) c.redux_words with
+            | Some (_, bits, is_float) ->
+              Privateer_analysis.Reduction.merge_values op acc
+                (Value.of_bits bits is_float)
+            | None -> acc)
+          base_v contribs
+      in
+      (addr, v))
+    base
+
+(* Combine register-reduction partials similarly. *)
+let merge_reg_partials ~(ops : (string * Privateer_ir.Ast.binop) list)
+    ~(base : (string * Value.t) list) (contribs : contribution list) =
+  List.map
+    (fun (name, base_v) ->
+      let op = List.assoc name ops in
+      let v =
+        List.fold_left
+          (fun acc c ->
+            match List.assoc_opt name c.reg_partials with
+            | Some p -> Privateer_analysis.Reduction.merge_values op acc p
+            | None -> acc)
+          base_v contribs
+      in
+      (name, v))
+    base

@@ -1,0 +1,59 @@
+(** Checkpoint objects and two-phase privacy validation (paper
+    sections 5.1–5.2).
+
+    Per interval, each worker contributes its speculative state; the
+    merge validates cross-worker live-in reads (phase 2), combines
+    private writes last-writer-wins by iteration, and folds reduction
+    partials over pre-spawn base values. *)
+
+open Privateer_interp
+
+type word_write = { iter : int; bits : int64; is_float : bool }
+
+type contribution = {
+  worker : int;
+  writes : (int, word_write) Hashtbl.t; (* private word address -> last write *)
+  live_in_reads : (int, unit) Hashtbl.t; (* byte addresses read as live-in *)
+  redux_words : (int * int64 * bool) list; (* reduction partial snapshot *)
+  reg_partials : (string * Value.t) list; (* register-reduction partials *)
+  pages_touched : int; (* for copy-cost accounting *)
+}
+
+(** Extract a worker's interval contribution by scanning the pages it
+    dirtied since the interval started; shadow timestamps decode into
+    iteration numbers relative to [interval_start]. *)
+val contribution_of_worker :
+  worker:int ->
+  interval_start:int ->
+  Privateer_machine.Machine.t ->
+  redux_ranges:(int * int * Privateer_ir.Ast.binop) list ->
+  reg_partials:(string * Value.t) list ->
+  contribution
+
+type merged = {
+  overlay : (int, word_write) Hashtbl.t; (* winning writes per word *)
+  contributions : contribution list;
+  violation : Misspec.reason option; (* phase-2 conflict, if any *)
+  total_pages : int;
+}
+
+(** Phase-2 validation plus last-writer-wins merge. *)
+val merge : contribution list -> merged
+
+(** Install a merged overlay into the main process's memory. *)
+val apply_overlay : Privateer_machine.Machine.t -> merged -> unit
+
+(** Absolute reduction values: [base op partial_1 op ... op partial_n]
+    per word of the given ranges. *)
+val merge_redux :
+  redux_ranges:(int * int * Privateer_ir.Ast.binop) list ->
+  base:(int * Value.t) list ->
+  contribution list ->
+  (int * Value.t) list
+
+(** Same combination for register-reduction partials. *)
+val merge_reg_partials :
+  ops:(string * Privateer_ir.Ast.binop) list ->
+  base:(string * Value.t) list ->
+  contribution list ->
+  (string * Value.t) list

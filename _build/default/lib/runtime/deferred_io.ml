@@ -1,0 +1,39 @@
+(* Deferred I/O: output issued inside the speculative region is
+   buffered per iteration and committed in iteration order when the
+   covering checkpoint becomes non-speculative (paper section 5.2:
+   "side effects of stream output functions are issued through the
+   checkpoint system"). *)
+
+type t = { outputs : (int, Buffer.t) Hashtbl.t }
+
+let create () = { outputs = Hashtbl.create 32 }
+
+let emit t ~iter text =
+  let buf =
+    match Hashtbl.find_opt t.outputs iter with
+    | Some b -> b
+    | None ->
+      let b = Buffer.create 64 in
+      Hashtbl.replace t.outputs iter b;
+      b
+  in
+  Buffer.add_string buf text
+
+(* Commit the output of iterations [lo, hi) in order, removing them. *)
+let commit_range t ~lo ~hi ~sink =
+  for i = lo to hi - 1 do
+    match Hashtbl.find_opt t.outputs i with
+    | Some b ->
+      sink (Buffer.contents b);
+      Hashtbl.remove t.outputs i
+    | None -> ()
+  done
+
+(* Discard buffered output for iterations >= [from] (squashed work). *)
+let discard_from t ~from =
+  let victims =
+    Hashtbl.fold (fun i _ acc -> if i >= from then i :: acc else acc) t.outputs []
+  in
+  List.iter (Hashtbl.remove t.outputs) victims
+
+let pending t = Hashtbl.length t.outputs

@@ -1,0 +1,20 @@
+(** Deferred I/O: output from speculative iterations, buffered per
+    iteration and committed in order when the covering checkpoint
+    retires (paper section 5.2). *)
+
+type t
+
+val create : unit -> t
+
+(** Buffer [text] as iteration [iter]'s output (appends). *)
+val emit : t -> iter:int -> string -> unit
+
+(** Commit iterations [\[lo, hi)] to [sink] in iteration order,
+    removing them. *)
+val commit_range : t -> lo:int -> hi:int -> sink:(string -> unit) -> unit
+
+(** Discard buffered output for iterations [>= from] (squashed work). *)
+val discard_from : t -> from:int -> unit
+
+(** Iterations still buffered. *)
+val pending : t -> int

@@ -1,0 +1,86 @@
+(* The shadow-heap metadata state machine (paper Table 2).
+
+   Each byte of private data has one byte of metadata in the shadow
+   heap, at the address obtained by OR-ing the private/shadow tag bit.
+   Codes:
+
+     0                live-in (initial state; shadow pages read as 0)
+     1                old-write (written before the last checkpoint)
+     2                read-live-in (read, believed live-in; confirmed
+                      at the next checkpoint's phase-2 validation)
+     3 + (i - i0)     timestamp: written at iteration i, where i0 is
+                      the first iteration after the last checkpoint
+
+   Checkpoints fire at least every [max_interval] iterations so
+   timestamps cannot overflow one byte. *)
+
+open Privateer_ir
+open Privateer_machine
+
+let live_in = 0
+let old_write = 1
+let read_live_in = 2
+let first_timestamp = 3
+
+(* 253 iterations: timestamps 3 .. 255. *)
+let max_interval = 256 - first_timestamp
+
+let timestamp ~iter ~interval_start = first_timestamp + (iter - interval_start)
+
+let is_timestamp m = m >= first_timestamp
+
+let iteration_of_timestamp ~interval_start m =
+  if not (is_timestamp m) then invalid_arg "Shadow.iteration_of_timestamp";
+  interval_start + m - first_timestamp
+
+type op = Read | Write
+
+type verdict = Keep | Update of int | Fail of (addr:int -> Misspec.reason)
+
+(* The pure transition function; exhaustively unit-tested against the
+   paper's table. [beta] is the current iteration's timestamp. *)
+let transition op ~current ~beta : verdict =
+  match op with
+  | Read ->
+    if current = live_in then Update read_live_in
+    else if current = old_write then Fail (fun ~addr -> Misspec.Privacy_flow { addr })
+    else if current = read_live_in then Keep
+    else if current < beta then Fail (fun ~addr -> Misspec.Privacy_flow { addr })
+    else Keep (* current = beta: intra-iteration flow *)
+  | Write ->
+    if current = live_in || current = old_write then Update beta
+    else if current = read_live_in then
+      Fail (fun ~addr -> Misspec.Privacy_conservative { addr })
+    else Update beta (* overwrite of this interval's earlier/current write *)
+
+(* Apply the transition to every metadata byte covering a private
+   access.  Raises Misspec.Misspeculation on a violation. *)
+let access machine op ~addr ~size ~beta =
+  for b = addr to addr + size - 1 do
+    let shadow_addr = Heap.shadow_of_private b in
+    let current = Machine.read_byte machine shadow_addr in
+    match transition op ~current ~beta with
+    | Keep -> ()
+    | Update m -> Machine.write_byte machine shadow_addr m
+    | Fail mk -> raise (Misspec.Misspeculation (mk ~addr:b))
+  done
+
+(* Checkpoint-time metadata reset: all timestamps become old-write.
+   Returns the number of shadow pages scanned (for cost accounting). *)
+let reset_interval machine =
+  let mem = machine.Machine.mem in
+  let pages =
+    List.filter
+      (fun key ->
+        Heap.equal_kind (Heap.heap_of_addr (key * Memory.page_size)) Heap.Shadow)
+      (Memory.mapped_pages mem)
+  in
+  List.iter
+    (fun key ->
+      let base = key * Memory.page_size in
+      for off = 0 to Memory.page_size - 1 do
+        let m = Memory.read_byte mem (base + off) in
+        if is_timestamp m then Memory.write_byte mem (base + off) old_write
+      done)
+    pages;
+  List.length pages

@@ -1,0 +1,51 @@
+(** The shadow-heap metadata state machine (paper Table 2).
+
+    Each private byte has one metadata byte in the shadow heap at
+    [Heap.shadow_of_private addr].  Codes: {ul
+    {- [0] live-in (initial; shadow pages read as zero);}
+    {- [1] old-write (written before the last checkpoint);}
+    {- [2] read-live-in (confirmed at the next checkpoint's phase-2
+       validation);}
+    {- [3 + (i - i0)] timestamp of a write at iteration [i], where
+       [i0] starts the current checkpoint interval.}} *)
+
+val live_in : int
+val old_write : int
+val read_live_in : int
+val first_timestamp : int
+
+(** Maximum iterations per checkpoint interval (253) so timestamps fit
+    one byte — the paper's "at least every 253 iterations". *)
+val max_interval : int
+
+(** The timestamp byte for iteration [iter] in the interval starting
+    at [interval_start]. *)
+val timestamp : iter:int -> interval_start:int -> int
+
+val is_timestamp : int -> bool
+
+(** Inverse of [timestamp].
+    @raise Invalid_argument if the byte is not a timestamp. *)
+val iteration_of_timestamp : interval_start:int -> int -> int
+
+type op = Read | Write
+
+type verdict =
+  | Keep  (** metadata unchanged *)
+  | Update of int  (** new metadata byte *)
+  | Fail of (addr:int -> Misspec.reason)  (** privacy violation *)
+
+(** The pure transition function of the paper's Table 2;
+    exhaustively unit-tested against an independent transcription. *)
+val transition : op -> current:int -> beta:int -> verdict
+
+(** Apply the transition to every metadata byte covering a private
+    access on the given worker machine.
+    @raise Misspec.Misspeculation on a violation. *)
+val access :
+  Privateer_machine.Machine.t -> op -> addr:int -> size:int -> beta:int -> unit
+
+(** Checkpoint-time reset: every timestamp becomes old-write (code 1);
+    read-live-in marks are preserved.  Returns the number of shadow
+    pages scanned, for cost accounting. *)
+val reset_interval : Privateer_machine.Machine.t -> int

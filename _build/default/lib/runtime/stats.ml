@@ -1,0 +1,56 @@
+(* Runtime statistics: the counters behind the paper's Table 3 and the
+   Figure 8 overhead breakdown. *)
+
+type t = {
+  mutable invocations : int;
+  mutable checkpoints : int;
+  mutable private_bytes_read : int;
+  mutable private_bytes_written : int;
+  mutable separation_checks : int;
+  mutable separation_checks_elided : int; (* static count, filled by caller *)
+  mutable misspeculations : int;
+  mutable recovered_iterations : int;
+  mutable iterations : int;
+  (* Overhead cycle accounting (Figure 8 categories). *)
+  mutable cyc_useful : int;
+  mutable cyc_private_read : int;
+  mutable cyc_private_write : int;
+  mutable cyc_checkpoint : int;
+  mutable cyc_spawn : int;
+  mutable cyc_join : int;
+  mutable cyc_recovery : int;
+  (* Wall-clock (simulated cycles) of all parallel invocations. *)
+  mutable wall_cycles : int;
+  mutable workers : int;
+}
+
+let create () =
+  { invocations = 0; checkpoints = 0; private_bytes_read = 0;
+    private_bytes_written = 0; separation_checks = 0; separation_checks_elided = 0;
+    misspeculations = 0; recovered_iterations = 0; iterations = 0; cyc_useful = 0;
+    cyc_private_read = 0; cyc_private_write = 0; cyc_checkpoint = 0; cyc_spawn = 0;
+    cyc_join = 0; cyc_recovery = 0; wall_cycles = 0; workers = 0 }
+
+(* Total capacity of the parallel region: cores x duration, the
+   denominator of the paper's Figure 8 normalization. *)
+let capacity t = t.workers * t.wall_cycles
+
+type breakdown = {
+  useful : float;
+  private_read : float;
+  private_write : float;
+  checkpoint : float;
+  spawn_join : float;
+  other : float;
+}
+
+let breakdown t =
+  let cap = float_of_int (max 1 (capacity t)) in
+  let pct c = 100.0 *. float_of_int c /. cap in
+  let useful = pct t.cyc_useful in
+  let private_read = pct t.cyc_private_read in
+  let private_write = pct t.cyc_private_write in
+  let checkpoint = pct t.cyc_checkpoint in
+  let spawn_join = pct (t.cyc_spawn + t.cyc_join) in
+  let other = max 0.0 (100.0 -. useful -. private_read -. private_write -. checkpoint -. spawn_join) in
+  { useful; private_read; private_write; checkpoint; spawn_join; other }

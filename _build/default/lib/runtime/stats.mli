@@ -1,0 +1,43 @@
+(** Runtime statistics: the counters behind the paper's Table 3 and
+    the Figure 8 overhead breakdown. *)
+
+type t = {
+  mutable invocations : int;
+  mutable checkpoints : int;
+  mutable private_bytes_read : int;
+  mutable private_bytes_written : int;
+  mutable separation_checks : int; (* dynamic, non-elided *)
+  mutable separation_checks_elided : int; (* static count *)
+  mutable misspeculations : int;
+  mutable recovered_iterations : int;
+  mutable iterations : int;
+  (* Overhead cycle accounting (Figure 8 categories). *)
+  mutable cyc_useful : int;
+  mutable cyc_private_read : int;
+  mutable cyc_private_write : int;
+  mutable cyc_checkpoint : int;
+  mutable cyc_spawn : int;
+  mutable cyc_join : int;
+  mutable cyc_recovery : int;
+  mutable wall_cycles : int; (* sum over parallel invocations *)
+  mutable workers : int;
+}
+
+val create : unit -> t
+
+(** Parallel-region capacity: [workers * wall_cycles], the
+    denominator of the paper's Figure 8 normalization. *)
+val capacity : t -> int
+
+type breakdown = {
+  useful : float;
+  private_read : float;
+  private_write : float;
+  checkpoint : float;
+  spawn_join : float;
+  other : float; (* residual: elided-check costs, rounding *)
+}
+
+(** Percentages of capacity; sums to ~100 for misspeculation-free
+    runs. *)
+val breakdown : t -> breakdown

@@ -1,0 +1,1 @@
+lib/support/interval_map.mli:

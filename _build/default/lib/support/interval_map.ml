@@ -1,0 +1,82 @@
+(* Map from disjoint half-open integer intervals [lo, hi) to values.
+
+   This is the profiler's core data structure: the pointer-to-object
+   profiler maintains an interval map from address ranges to the name of
+   the memory object occupying that range (paper section 4.1).  Lookups
+   must be fast for arbitrary interior addresses, and insertions must be
+   able to evict any previously-registered intervals they overlap (a
+   freed object's range can be recycled by a later allocation). *)
+
+module Int_map = Map.Make (Int)
+
+type 'a t = { mutable by_lo : (int * 'a) Int_map.t }
+(* [by_lo] maps interval start -> (end, value); intervals are disjoint. *)
+
+let create () = { by_lo = Int_map.empty }
+
+let is_empty t = Int_map.is_empty t.by_lo
+
+let cardinal t = Int_map.cardinal t.by_lo
+
+(* The interval containing [addr], if any: the candidate is the interval
+   with the greatest start <= addr. *)
+let find_opt t addr =
+  match Int_map.find_last_opt (fun lo -> lo <= addr) t.by_lo with
+  | Some (lo, (hi, v)) when addr < hi -> Some (lo, hi, v)
+  | Some _ | None -> None
+
+let mem t addr = Option.is_some (find_opt t addr)
+
+(* All intervals intersecting [lo, hi). *)
+let overlapping t lo hi =
+  if lo >= hi then []
+  else begin
+    (* Start from the interval containing lo (if any), then walk right. *)
+    let start =
+      match Int_map.find_last_opt (fun l -> l <= lo) t.by_lo with
+      | Some (l, (h, _)) when lo < h -> l
+      | Some _ | None -> lo
+    in
+    let rec walk acc key =
+      match Int_map.find_first_opt (fun l -> l >= key) t.by_lo with
+      | Some (l, (h, v)) when l < hi -> walk ((l, h, v) :: acc) (l + 1)
+      | Some _ | None -> List.rev acc
+    in
+    walk [] start
+  end
+
+(* Remove every interval intersecting [lo, hi). Returns removed intervals. *)
+let remove_range t lo hi =
+  let victims = overlapping t lo hi in
+  List.iter (fun (l, _, _) -> t.by_lo <- Int_map.remove l t.by_lo) victims;
+  victims
+
+(* Insert [lo, hi) -> v, evicting anything it overlaps. *)
+let insert t lo hi v =
+  if lo >= hi then invalid_arg "Interval_map.insert: empty interval";
+  ignore (remove_range t lo hi);
+  t.by_lo <- Int_map.add lo (hi, v) t.by_lo
+
+(* Remove the interval that starts exactly at [lo], if present. *)
+let remove_start t lo =
+  match Int_map.find_opt lo t.by_lo with
+  | None -> None
+  | Some (hi, v) ->
+    t.by_lo <- Int_map.remove lo t.by_lo;
+    Some (hi, v)
+
+let iter t f = Int_map.iter (fun lo (hi, v) -> f lo hi v) t.by_lo
+
+let fold t init f =
+  Int_map.fold (fun lo (hi, v) acc -> f acc lo hi v) t.by_lo init
+
+let to_list t = fold t [] (fun acc lo hi v -> (lo, hi, v) :: acc) |> List.rev
+
+(* Internal invariant check, used by property tests. *)
+let well_formed t =
+  let ok = ref true in
+  let prev_hi = ref min_int in
+  iter t (fun lo hi _ ->
+      if lo >= hi || lo < !prev_hi then ok := false;
+      prev_hi := hi);
+  !ok

@@ -1,0 +1,51 @@
+(** Map from disjoint half-open integer intervals [\[lo, hi)] to values.
+
+    The pointer-to-object profiler's core structure: address ranges of
+    live memory objects map to their names, interior addresses resolve
+    in logarithmic time, and inserting a range evicts anything it
+    overlaps (recycled storage names a new object). *)
+
+type 'a t
+
+(** Fresh empty map. *)
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+(** Number of intervals. *)
+val cardinal : 'a t -> int
+
+(** [find_opt m addr] is the interval [(lo, hi, v)] containing [addr],
+    if any ([lo <= addr < hi]). *)
+val find_opt : 'a t -> int -> (int * int * 'a) option
+
+(** Is [addr] inside any interval? *)
+val mem : 'a t -> int -> bool
+
+(** All intervals intersecting [\[lo, hi)], in address order. *)
+val overlapping : 'a t -> int -> int -> (int * int * 'a) list
+
+(** Remove every interval intersecting [\[lo, hi)]; returns the
+    removed intervals. *)
+val remove_range : 'a t -> int -> int -> (int * int * 'a) list
+
+(** [insert m lo hi v] maps [\[lo, hi)] to [v], evicting any
+    previously-inserted interval it overlaps.
+    @raise Invalid_argument if [lo >= hi]. *)
+val insert : 'a t -> int -> int -> 'a -> unit
+
+(** Remove the interval starting exactly at [lo], returning its
+    [(hi, value)]. *)
+val remove_start : 'a t -> int -> (int * 'a) option
+
+(** Iterate in address order: [f lo hi v]. *)
+val iter : 'a t -> (int -> int -> 'a -> unit) -> unit
+
+val fold : 'a t -> 'b -> ('b -> int -> int -> 'a -> 'b) -> 'b
+
+(** Intervals in address order. *)
+val to_list : 'a t -> (int * int * 'a) list
+
+(** Internal invariant check (disjoint, ordered, non-empty intervals);
+    used by the property tests. *)
+val well_formed : 'a t -> bool

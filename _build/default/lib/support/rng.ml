@@ -1,0 +1,41 @@
+(* Deterministic splittable RNG (splitmix64 core).
+
+   Everything in the reproduction must be deterministic so that the
+   figures regenerate byte-identically; this module is the only source
+   of randomness for input generators and misspeculation injection. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let r = Int64.to_int (next_int64 t) land max_int in
+  r mod bound
+
+(* Uniform float in [0, 1). *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 (* 2^53 *)
+
+(* Uniform float in [lo, hi). *)
+let float_range t lo hi = lo +. ((hi -. lo) *. float t)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Split off an independent stream; used to decorrelate sub-generators. *)
+let split t =
+  let seed = Int64.to_int (next_int64 t) land max_int in
+  create seed

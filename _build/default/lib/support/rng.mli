@@ -1,0 +1,30 @@
+(** Deterministic splittable RNG (splitmix64).
+
+    The only randomness source in the repository, so that every
+    experiment regenerates byte-identically. *)
+
+type t
+
+(** RNG seeded with the given integer. *)
+val create : int -> t
+
+(** Independent copy continuing the same stream. *)
+val copy : t -> t
+
+(** Next raw 64-bit value. *)
+val next_int64 : t -> int64
+
+(** Uniform integer in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** Uniform float in [\[0, 1)]. *)
+val float : t -> float
+
+(** Uniform float in [\[lo, hi)]. *)
+val float_range : t -> float -> float -> float
+
+val bool : t -> bool
+
+(** Split off an independent stream (advances [t]). *)
+val split : t -> t

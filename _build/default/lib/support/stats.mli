@@ -1,0 +1,19 @@
+(** Numeric helpers for the evaluation harness. *)
+
+(** Arithmetic mean; [nan] on the empty list. *)
+val mean : float list -> float
+
+(** Geometric mean (the paper's headline aggregation); [nan] on the
+    empty list. *)
+val geomean : float list -> float
+
+(** [percent part whole] is [100 * part / whole] (0 if [whole] is 0). *)
+val percent : float -> float -> float
+
+val clamp : float -> float -> float -> float
+
+(** Round to the given number of decimal digits. *)
+val round_to : int -> float -> float
+
+val sum_int : int list -> int
+val sum_float : float list -> float

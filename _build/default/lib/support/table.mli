@@ -1,0 +1,28 @@
+(** Fixed-width ASCII table rendering for the evaluation harness. *)
+
+type align = Left | Right
+
+type t
+
+(** [create ?aligns headers] starts a table; [aligns] defaults to all
+    [Left] and must match [headers] in length. *)
+val create : ?aligns:align list -> string list -> t
+
+(** Append a row.
+    @raise Invalid_argument on arity mismatch. *)
+val add_row : t -> string list -> unit
+
+(** Render with a separator line under the headers; all columns padded
+    to their widest cell. *)
+val render : t -> string
+
+val print : t -> unit
+
+(** ["2.50x"]-style speedup formatting. *)
+val fx : ?digits:int -> float -> string
+
+(** ["12.3%"]-style percentage formatting. *)
+val fpct : ?digits:int -> float -> string
+
+(** Human byte counts: ["4.0 KB"], ["2.0 GB"], ... *)
+val fbytes : int -> string

@@ -1,0 +1,1 @@
+lib/transform/manifest.ml: Ast Classify Hashtbl Heap List Objname Option Privateer_analysis Privateer_ir Privateer_profile Scalars

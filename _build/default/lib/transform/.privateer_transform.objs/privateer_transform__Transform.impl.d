@@ -1,0 +1,1 @@
+lib/transform/transform.ml: Ast Classify Hashtbl Heap List Manifest Objname Privateer_analysis Privateer_ir Privateer_profile Profiler Selection Static_pta Validate

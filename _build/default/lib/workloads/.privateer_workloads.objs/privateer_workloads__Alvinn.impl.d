@@ -1,0 +1,1 @@
+lib/workloads/alvinn.ml: Printf Workload

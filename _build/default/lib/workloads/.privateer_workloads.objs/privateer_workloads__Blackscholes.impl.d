@@ -1,0 +1,1 @@
+lib/workloads/blackscholes.ml: Printf Workload

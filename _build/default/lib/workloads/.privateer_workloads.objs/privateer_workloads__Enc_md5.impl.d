@@ -1,0 +1,1 @@
+lib/workloads/enc_md5.ml: Printf Workload

@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Alvinn Blackscholes Dijkstra Enc_md5 List Printf String Swaptions Workload

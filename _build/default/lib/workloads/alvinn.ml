@@ -1,0 +1,159 @@
+(* 052.alvinn (SPEC): neural-network training for autonomous driving.
+
+   Each epoch runs the hot loop over training patterns.  The forward
+   and backward passes use stack-allocated activation/error arrays
+   that are declared in main, reached only through pointer arguments
+   (the paper: "iterates over these arrays using pointer arithmetic
+   and passes array references to callees, making static analysis
+   difficult") — Privateer privatizes the four stack slots.  Weight
+   *deltas* are accumulated into two global arrays through
+   [w += e] updates (memory reductions) and the epoch error into a
+   scalar local (register reduction) — the paper's "reductions on two
+   global arrays as well as a scalar local variable". *)
+
+let n_in = 16
+let n_hid = 12
+let n_out = 4
+let max_patterns = 256
+
+let source =
+  Printf.sprintf
+    {|
+global npatterns;
+global nepochs;
+global seed;
+
+global inputs[%d];    // npatterns x N_IN   (read-only)
+global targets[%d];   // npatterns x N_OUT  (read-only)
+global w_ih[%d];      // input->hidden weights  (read-only in hot loop)
+global w_ho[%d];      // hidden->output weights (read-only in hot loop)
+global dw_ih[%d];     // weight-delta accumulators (reduction)
+global dw_ho[%d];     // weight-delta accumulators (reduction)
+
+fn lcg() {
+  seed = (seed * 1103515245 + 12345) %% 2147483648;
+  return seed;
+}
+
+fn sigmoid(x) {
+  return 1.0 /. (1.0 +. exp(-. x));
+}
+
+fn init_net() {
+  var n = npatterns;
+  for (p = 0; p < n) {
+    for (i = 0; i < %d) {
+      inputs[p * %d + i] = itof(lcg() %% 1000) /. 1000.0;
+    }
+    for (o = 0; o < %d) {
+      targets[p * %d + o] = itof(lcg() %% 1000) /. 1000.0;
+    }
+  }
+  for (u = 0; u < %d) {
+    w_ih[u] = itof(lcg() %% 2000 - 1000) /. 2000.0;
+  }
+  for (v = 0; v < %d) {
+    w_ho[v] = itof(lcg() %% 2000 - 1000) /. 2000.0;
+  }
+}
+
+fn forward(p, hidden, out) {
+  for (h = 0; h < %d) {
+    var sum = 0.0;
+    for (i = 0; i < %d) {
+      sum = sum +. inputs[p * %d + i] *. w_ih[i * %d + h];
+    }
+    hidden[h] = sigmoid(sum);
+  }
+  for (o = 0; o < %d) {
+    var sum2 = 0.0;
+    for (h2 = 0; h2 < %d) {
+      sum2 = sum2 +. hidden[h2] *. w_ho[h2 * %d + o];
+    }
+    out[o] = sigmoid(sum2);
+  }
+}
+
+fn backward(p, hidden, out, err_hid, err_out) {
+  var perr = 0.0;
+  for (o = 0; o < %d) {
+    var t = targets[p * %d + o];
+    var y = out[o];
+    var e = (t -. y) *. y *. (1.0 -. y);
+    err_out[o] = e;
+    perr = perr +. (t -. y) *. (t -. y);
+  }
+  for (h = 0; h < %d) {
+    var acc = 0.0;
+    for (o2 = 0; o2 < %d) {
+      acc = acc +. err_out[o2] *. w_ho[h * %d + o2];
+    }
+    var hv = hidden[h];
+    err_hid[h] = acc *. hv *. (1.0 -. hv);
+  }
+  // Accumulate weight deltas: associative-commutative updates, the
+  // loop's memory reductions.
+  for (h3 = 0; h3 < %d) {
+    for (o3 = 0; o3 < %d) {
+      dw_ho[h3 * %d + o3] = dw_ho[h3 * %d + o3] +. hidden[h3] *. err_out[o3];
+    }
+  }
+  for (i2 = 0; i2 < %d) {
+    for (h4 = 0; h4 < %d) {
+      dw_ih[i2 * %d + h4] = dw_ih[i2 * %d + h4] +. inputs[p * %d + i2] *. err_hid[h4];
+    }
+  }
+  return perr;
+}
+
+fn main() {
+  init_net();
+  var hidden[%d];
+  var out[%d];
+  var err_hid[%d];
+  var err_out[%d];
+  var n = npatterns;
+  var epochs = nepochs;
+  for (e = 0; e < epochs) {
+    for (z = 0; z < %d) {
+      dw_ih[z] = 0.0;
+    }
+    for (z2 = 0; z2 < %d) {
+      dw_ho[z2] = 0.0;
+    }
+    var terr = 0.0;
+    for (p = 0; p < n) {
+      forward(p, hidden, out);
+      terr = terr +. backward(p, hidden, out, err_hid, err_out);
+    }
+    for (u = 0; u < %d) {
+      w_ih[u] = w_ih[u] +. 0.3 *. dw_ih[u] /. itof(n);
+    }
+    for (v = 0; v < %d) {
+      w_ho[v] = w_ho[v] +. 0.3 *. dw_ho[v] /. itof(n);
+    }
+    print("epoch %%d rmse %%f\n", e, sqrt(terr /. itof(n)));
+  }
+  return 0;
+}
+|}
+    (max_patterns * n_in) (max_patterns * n_out) (n_in * n_hid) (n_hid * n_out)
+    (n_in * n_hid) (n_hid * n_out) (* globals *)
+    n_in n_in n_out n_out (n_in * n_hid) (n_hid * n_out) (* init_net *)
+    n_hid n_in n_in n_hid n_out n_hid n_out (* forward *)
+    n_out n_out n_hid n_out n_out n_hid n_out n_out n_out n_in n_hid n_hid n_hid
+    n_in (* backward *)
+    n_hid n_out n_hid n_out (n_in * n_hid) (n_hid * n_out) (n_in * n_hid)
+    (n_hid * n_out)
+(* main *)
+
+let workload : Workload.t =
+  { name = "052.alvinn";
+    description = "SPEC 052.alvinn: pattern loop with private stack arrays and delta reductions";
+    source;
+    params =
+      (function
+      | Workload.Train -> [ ("npatterns", 24); ("nepochs", 2); ("seed", 17) ]
+      | Workload.Ref -> [ ("npatterns", 96); ("nepochs", 24); ("seed", 20202) ]
+      | Workload.Alt -> [ ("npatterns", 64); ("nepochs", 4); ("seed", 51) ]);
+    paper_extras = [] }

@@ -1,0 +1,150 @@
+(* blackscholes (PARSEC): Black-Scholes option pricing.
+
+   The inner loop over options is embarrassingly parallel, and the
+   non-speculative DOALL baseline can prove it (affine writes to
+   prices[i]).  The hotter outer loop over pricing runs carries output
+   dependences on the prices array — which is allocated in a
+   *different function* and reaches the loop through a pointer stored
+   in a global, defeating static layout analysis.  Privateer
+   privatizes the array object (its allocation site), classifies the
+   option inputs read-only, and parallelizes the outer loop in a
+   single invocation (paper section 6.1). *)
+
+let max_options = 1024
+
+let source =
+  Printf.sprintf
+    {|
+global numoptions;
+global numruns;
+global seed;
+
+// Option inputs (read-only in the hot loop).
+global sptprice[%d];
+global strike[%d];
+global rate[%d];
+global volatility[%d];
+global otime[%d];
+global otype[%d];
+
+// The pricing array is allocated in a helper function; only this
+// pointer cell names it.
+global prices_ptr;
+
+fn lcg() {
+  seed = (seed * 1103515245 + 12345) %% 2147483648;
+  return seed;
+}
+
+fn frand(lo, hi) {
+  return lo +. (hi -. lo) *. (itof(lcg() %% 10000) /. 10000.0);
+}
+
+fn init_options() {
+  var n = numoptions;
+  for (i = 0; i < n) {
+    sptprice[i] = frand(20.0, 120.0);
+    strike[i] = frand(20.0, 120.0);
+    rate[i] = frand(0.01, 0.1);
+    volatility[i] = frand(0.05, 0.65);
+    otime[i] = frand(0.1, 2.0);
+    otype[i] = lcg() %% 2;
+  }
+}
+
+fn alloc_prices() {
+  prices_ptr = malloc(%d);
+}
+
+// Cumulative normal distribution (Abramowitz-Stegun approximation),
+// as in the PARSEC kernel.
+fn cndf(x) {
+  var sign = 0;
+  var v = x;
+  if (v <. 0.0) {
+    v = -. v;
+    sign = 1;
+  }
+  var xk = 1.0 /. (1.0 +. 0.2316419 *. v);
+  var xk2 = xk *. xk;
+  var xk3 = xk2 *. xk;
+  var xk4 = xk3 *. xk;
+  var xk5 = xk4 *. xk;
+  var poly = 0.319381530 *. xk -. 0.356563782 *. xk2 +. 1.781477937 *. xk3
+             -. 1.821255978 *. xk4 +. 1.330274429 *. xk5;
+  var pdf = 0.39894228040143270 *. exp(-.0.5 *. v *. v);
+  var cnd = 1.0 -. pdf *. poly;
+  if (sign == 1) {
+    cnd = 1.0 -. cnd;
+  }
+  return cnd;
+}
+
+fn bs_price(spot, k, r, vol, t, ty) {
+  var sqrt_t = sqrt(t);
+  var d1 = (log(spot /. k) +. (r +. 0.5 *. vol *. vol) *. t) /. (vol *. sqrt_t);
+  var d2 = d1 -. vol *. sqrt_t;
+  var nd1 = cndf(d1);
+  var nd2 = cndf(d2);
+  var fut = k *. exp(-. r *. t);
+  var price = 0.0;
+  if (ty == 0) {
+    price = spot *. nd1 -. fut *. nd2;
+  } else {
+    price = fut *. (1.0 -. nd2) -. spot *. (1.0 -. nd1);
+  }
+  return price;
+}
+
+// Per-run volatility smoothing: a sequential recurrence, so only the
+// outer loop's parallelization covers it.
+fn run_bias() {
+  var n = numoptions;
+  var bias = 0.0;
+  for (b = 0; b < n) {
+    bias = 0.5 *. bias +. exp(-. volatility[b]);
+  }
+  return bias /. itof(n);
+}
+
+fn price_all() {
+  var p = prices_ptr;
+  var n = numoptions;
+  var bias = run_bias();
+  for (i = 0; i < n) {
+    p[i] = bs_price(sptprice[i], strike[i], rate[i], volatility[i], otime[i],
+                    otype[i]) *. (1.0 +. 0.001 *. bias);
+  }
+}
+
+fn main() {
+  init_options();
+  alloc_prices();
+  var runs = numruns;
+  for (run = 0; run < runs) {
+    price_all();
+  }
+  // Checksum over the committed final prices.
+  var p = prices_ptr;
+  var n = numoptions;
+  var s = 0.0;
+  for (i = 0; i < n) {
+    s = s +. p[i];
+  }
+  print("checksum %%f\n", s);
+  return 0;
+}
+|}
+    max_options max_options max_options max_options max_options max_options
+    max_options
+
+let workload : Workload.t =
+  { name = "blackscholes";
+    description = "PARSEC blackscholes: outer pricing loop with output deps on a pointer-reached array";
+    source;
+    params =
+      (function
+      | Workload.Train -> [ ("numoptions", 64); ("numruns", 6); ("seed", 11) ]
+      | Workload.Ref -> [ ("numoptions", 256); ("numruns", 96); ("seed", 4242) ]
+      | Workload.Alt -> [ ("numoptions", 128); ("numruns", 24); ("seed", 77) ]);
+    paper_extras = [ "Value" ] }

@@ -1,0 +1,162 @@
+(* enc-md5 (Trimaran): MD5 message digests for many data sets.
+
+   A full MD5 implementation (64 rounds, sine-derived constant table,
+   byte-level padding).  Parallelization of the outer loop over data
+   sets is blocked by false dependences on the reused MD5 state object
+   and the per-digest buffer, and by the printf of each digest:
+   Privateer privatizes the state, marks the scratch buffer
+   short-lived, defers the I/O, and control-speculates the never-taken
+   input-validation path (paper Table 3: Control, I/O). *)
+
+let max_data_words = 4096 (* 32 KiB of message data *)
+
+let source =
+  Printf.sprintf
+    {|
+global ndatasets;
+global dsize;         // bytes per data set
+global seed;
+
+global data[%d];      // message bytes (read-only)
+global ktab[64];      // MD5 sine constants (read-only)
+global rtab[64];      // MD5 per-round rotate amounts (read-only)
+global md5_state[4];  // A,B,C,D: reused across iterations -> private
+global err_count;
+
+fn lcg() {
+  seed = (seed * 1103515245 + 12345) %% 2147483648;
+  return seed;
+}
+
+fn init_tables() {
+  for (i = 0; i < 64) {
+    ktab[i] = ftoi(floor(fabs(sin(itof(i + 1))) *. 4294967296.0)) & 4294967295;
+  }
+  // Per-round rotate amounts (RFC 1321).
+  for (j = 0; j < 4) {
+    rtab[j * 4] = 7;
+    rtab[j * 4 + 1] = 12;
+    rtab[j * 4 + 2] = 17;
+    rtab[j * 4 + 3] = 22;
+    rtab[16 + j * 4] = 5;
+    rtab[16 + j * 4 + 1] = 9;
+    rtab[16 + j * 4 + 2] = 14;
+    rtab[16 + j * 4 + 3] = 20;
+    rtab[32 + j * 4] = 4;
+    rtab[32 + j * 4 + 1] = 11;
+    rtab[32 + j * 4 + 2] = 16;
+    rtab[32 + j * 4 + 3] = 23;
+    rtab[48 + j * 4] = 6;
+    rtab[48 + j * 4 + 1] = 10;
+    rtab[48 + j * 4 + 2] = 15;
+    rtab[48 + j * 4 + 3] = 21;
+  }
+}
+
+fn init_data() {
+  // Word-granular generation keeps setup cheap relative to digesting.
+  var words = ndatasets * dsize / 8;
+  for (i = 0; i < words) {
+    data[i] = lcg() | (lcg() << 31);
+  }
+}
+
+fn rotl32(x, c) {
+  return ((x << c) | (x >> (32 - c))) & 4294967295;
+}
+
+// One 64-byte chunk at byte address p.
+fn md5_chunk(p) {
+  var a = md5_state[0];
+  var b = md5_state[1];
+  var c = md5_state[2];
+  var d = md5_state[3];
+  for (i = 0; i < 64) {
+    var f = 0;
+    var g = 0;
+    if (i < 16) {
+      f = (b & c) | (~b & d & 4294967295);
+      g = i;
+    } else { if (i < 32) {
+      f = (d & b) | (~d & c & 4294967295);
+      g = (5 * i + 1) %% 16;
+    } else { if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) %% 16;
+    } else {
+      f = c ^ (b | (~d & 4294967295));
+      g = (7 * i) %% 16;
+    } } }
+    var m = load1(p + g * 4) | (load1(p + g * 4 + 1) << 8)
+            | (load1(p + g * 4 + 2) << 16) | (load1(p + g * 4 + 3) << 24);
+    var tmp = d;
+    d = c;
+    c = b;
+    var sum = (a + f + ktab[i] + m) & 4294967295;
+    b = (b + rotl32(sum, rtab[i])) & 4294967295;
+    a = tmp;
+  }
+  md5_state[0] = (md5_state[0] + a) & 4294967295;
+  md5_state[1] = (md5_state[1] + b) & 4294967295;
+  md5_state[2] = (md5_state[2] + c) & 4294967295;
+  md5_state[3] = (md5_state[3] + d) & 4294967295;
+}
+
+fn digest(idx) {
+  var len = dsize;
+  if (len < 0) {
+    // Invalid dataset length: never happens; control speculation.
+    err_count = err_count + 1;
+    return 0;
+  }
+  // Padded length: message + 0x80 + zeros + 8-byte bit length.
+  var padded = ((len + 8) / 64 + 1) * 64;
+  var buf = malloc(padded / 8 + 1);
+  var src = &data + idx * len;
+  for (i = 0; i < len) {
+    store1(buf + i, load1(src + i));
+  }
+  store1(buf + len, 128);
+  for (z = len + 1; z < padded - 8) {
+    store1(buf + z, 0);
+  }
+  var bits = len * 8;
+  for (q = 0; q < 8) {
+    store1(buf + padded - 8 + q, (bits >> (q * 8)) & 255);
+  }
+  md5_state[0] = 1732584193;
+  md5_state[1] = 4023233417;
+  md5_state[2] = 2562383102;
+  md5_state[3] = 271733878;
+  var nchunks = padded / 64;
+  for (ch = 0; ch < nchunks) {
+    md5_chunk(buf + ch * 64);
+  }
+  free(buf);
+  print("%%d: %%x %%x %%x %%x\n", idx, md5_state[0], md5_state[1], md5_state[2],
+        md5_state[3]);
+  return md5_state[0];
+}
+
+fn main() {
+  init_tables();
+  init_data();
+  var n = ndatasets;
+  for (d = 0; d < n) {
+    digest(d);
+  }
+  return 0;
+}
+|}
+    max_data_words
+
+let workload : Workload.t =
+  { name = "enc-md5";
+    description = "Trimaran enc-md5: MD5 digests with a reused state object and per-digest buffer";
+    source;
+    params =
+      (function
+      | Workload.Train -> [ ("ndatasets", 10); ("dsize", 120); ("seed", 23) ]
+      | Workload.Ref -> [ ("ndatasets", 160); ("dsize", 200); ("seed", 777) ]
+      | Workload.Alt -> [ ("ndatasets", 32); ("dsize", 56); ("seed", 91) ]);
+    paper_extras = [ "Control"; "I/O" ] }

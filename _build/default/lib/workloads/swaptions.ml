@@ -1,0 +1,127 @@
+(* swaptions (PARSEC): HJM-style Monte-Carlo swaption pricing.
+
+   Each outer-loop iteration simulates one swaption, allocating a
+   number of vectors and matrices (arrays of pointers to row vectors)
+   that flow through helper functions and are freed before the
+   iteration ends — the linked structure that defeats the LRPD family
+   (paper: 17 privatized objects, 15 of them short-lived).  A global
+   scratch buffer and the results table are iteration-private.
+   Static analysis cannot prove the loop parallel (pointer
+   indirection), so the non-speculative baseline leaves it alone. *)
+
+let max_swaptions = 512
+
+let source =
+  Printf.sprintf
+    {|
+global nswaptions;
+global ntrials;
+global seed;
+
+global params[%d];     // per-swaption rate parameters (read-only)
+global results[%d];    // per-swaption price (private: written per iteration)
+global workbuf[32];    // scratch reused by every iteration (private)
+global err_count;
+
+// rows x cols matrix as an array of row-vector pointers: the linked
+// layout the paper calls out.
+fn alloc_matrix(rows, cols) {
+  var m = malloc(rows);
+  for (r = 0; r < rows) {
+    m[r] = malloc(cols);
+  }
+  return m;
+}
+
+fn free_matrix(m, rows) {
+  for (r = 0; r < rows) {
+    free(m[r]);
+  }
+  free(m);
+}
+
+// Fill the forward-rate matrix row by row with a deterministic
+// pseudo-random walk seeded from this swaption's parameter.
+fn fill_forward(m, rows, cols, p0) {
+  var state = p0;
+  for (r = 0; r < rows) {
+    var row = m[r];
+    for (c = 0; c < cols) {
+      state = (state * 1103515245 + 12345) %% 2147483648;
+      row[c] = 0.02 +. itof(state %% 1000) /. 50000.0;
+    }
+  }
+}
+
+// Discount factors along one path, into a short-lived vector.
+fn discount(row, cols, disc) {
+  var acc = 1.0;
+  for (c = 0; c < cols) {
+    acc = acc /. (1.0 +. row[c]);
+    disc[c] = acc;
+  }
+}
+
+fn simulate(idx) {
+  var rows = 8;
+  var cols = 12;
+  var fwd = alloc_matrix(rows, cols);
+  var disc = malloc(cols);
+  if (fwd == 0) {
+    // Allocation failure path: never taken, control-speculated away.
+    err_count = err_count + 1;
+    return 0.0;
+  }
+  fill_forward(fwd, rows, cols, params[idx]);
+  var sum = 0.0;
+  for (r = 0; r < rows) {
+    var row = fwd[r];
+    discount(row, cols, disc);
+    // swap payoff along this path, accumulated in the scratch buffer
+    var payoff = 0.0;
+    for (c = 0; c < cols) {
+      workbuf[c %% 32] = disc[c] *. (row[c] -. 0.03);
+      payoff = payoff +. workbuf[c %% 32];
+    }
+    sum = sum +. fmax(payoff, 0.0);
+  }
+  free(disc);
+  free_matrix(fwd, rows);
+  return sum /. itof(rows);
+}
+
+fn init_params() {
+  var n = nswaptions;
+  var s = seed;
+  for (i = 0; i < n) {
+    s = (s * 69069 + 1) %% 2147483648;
+    params[i] = s;
+  }
+}
+
+fn main() {
+  init_params();
+  var n = nswaptions;
+  for (i = 0; i < n) {
+    results[i] = simulate(i);
+  }
+  var total = 0.0;
+  for (j = 0; j < n) {
+    total = total +. results[j];
+  }
+  print("swaptions %%d total %%f\n", n, total);
+  return 0;
+}
+|}
+    max_swaptions max_swaptions
+
+let workload : Workload.t =
+  { name = "swaptions";
+    description = "PARSEC swaptions: per-iteration linked matrices (short-lived) plus private scratch";
+    source;
+    params =
+      (function
+      | Workload.Train -> [ ("nswaptions", 12); ("ntrials", 1); ("seed", 3) ]
+      | Workload.Ref -> [ ("nswaptions", 384); ("ntrials", 1); ("seed", 31337) ]
+      | Workload.Alt -> [ ("nswaptions", 48); ("ntrials", 1); ("seed", 5) ]);
+    paper_extras = [ "Value"; "Control" ] }

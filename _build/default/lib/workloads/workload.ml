@@ -1,0 +1,23 @@
+(* Workload plumbing: each benchmark is a Cmini program plus input
+   parameterizations (train for profiling, ref for evaluation, alt for
+   the profile-stability check the paper performs). *)
+
+type input = Train | Ref | Alt
+
+let input_name = function Train -> "train" | Ref -> "ref" | Alt -> "alt"
+
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  (* Scalar globals to set for each input. *)
+  params : input -> (string * int) list;
+  (* What the paper's Table 3 lists under "Extras" for this program. *)
+  paper_extras : string list;
+}
+
+let program t = Privateer.Pipeline.parse t.source
+
+let setup t input : Privateer.Pipeline.setup =
+ fun st ->
+  List.iter (fun (g, v) -> Privateer.Pipeline.set_global st g v) (t.params input)

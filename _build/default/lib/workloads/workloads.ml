@@ -1,0 +1,16 @@
+(* The evaluation suite: the paper's five programs (section 6,
+   Table 3). *)
+
+let all : Workload.t list =
+  [ Alvinn.workload; Dijkstra.workload; Blackscholes.workload; Swaptions.workload;
+    Enc_md5.workload ]
+
+let find name = List.find_opt (fun (w : Workload.t) -> w.name = name) all
+
+let find_exn name =
+  match find name with
+  | Some w -> w
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown workload %s (have: %s)" name
+         (String.concat ", " (List.map (fun (w : Workload.t) -> w.name) all)))

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Ast Builder Hashtbl Heap Hooks Interp List Privateer_interp Privateer_ir Privateer_lang Privateer_machine Value

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Ast Builder Heap Hooks List Pp Privateer_interp Privateer_ir Privateer_lang String Validate Value

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Lexer List Parser Printf Privateer_interp Privateer_ir Privateer_lang

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Allocator Heap Int64 List Machine Memory Privateer_ir Privateer_machine

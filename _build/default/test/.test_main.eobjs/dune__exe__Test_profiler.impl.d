@@ -1,0 +1,1 @@
+test/test_profiler.ml: Alcotest Ast Hashtbl Interp List Objname Printf Privateer_interp Privateer_ir Privateer_lang Privateer_profile Profiler Value

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Ast Buffer Checkpoint Deferred_io Hashtbl Heap Int64 List Machine Memory Misspec Printf Privateer_interp Privateer_ir Privateer_machine Privateer_runtime Shadow

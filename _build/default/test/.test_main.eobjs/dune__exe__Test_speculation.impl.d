@@ -1,0 +1,1 @@
+test/test_speculation.ml: Alcotest List Pipeline Privateer Privateer_interp Privateer_parallel

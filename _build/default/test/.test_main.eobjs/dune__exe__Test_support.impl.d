@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Float Interval_map List Privateer_support Rng Stats String Table

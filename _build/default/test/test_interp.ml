@@ -1,0 +1,247 @@
+(* Unit tests for the interpreter: semantics, control flow, hooks,
+   cycle accounting, forking. *)
+
+open Privateer_ir
+open Privateer_interp
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Run a Cmini main() and return its integer result. *)
+let run_int ?setup src =
+  let program = Privateer_lang.Parser.parse_program_exn src in
+  let st = Interp.create program in
+  (match setup with Some f -> f st | None -> ());
+  (Value.as_int (Interp.run_entry st), st)
+
+let result_of src = fst (run_int src)
+
+let test_arithmetic () =
+  check_int "precedence" 14 (result_of "fn main() { return 2 + 3 * 4; }");
+  check_int "sub/div" 3 (result_of "fn main() { return (10 - 1) / 3; }");
+  check_int "rem" 2 (result_of "fn main() { return 17 % 5; }");
+  check_int "shift" 40 (result_of "fn main() { return 5 << 3; }");
+  check_int "bits" 6 (result_of "fn main() { return (7 & 14) | (1 ^ 1); }");
+  check_int "unary" (-5) (result_of "fn main() { return -(2 + 3); }");
+  check_int "bnot" (-1) (result_of "fn main() { return ~0; }");
+  check_int "cmp chain" 1 (result_of "fn main() { return (3 < 4) == (10 >= 10); }")
+
+let test_float_arithmetic () =
+  check_int "float compare" 1 (result_of "fn main() { return 1.5 *. 2.0 ==. 3.0; }");
+  check_int "ftoi" 3 (result_of "fn main() { return ftoi(3.9); }");
+  check_int "itof/fdiv" 1 (result_of "fn main() { return itof(7) /. 2.0 ==. 3.5; }");
+  check_int "fneg" 1 (result_of "fn main() { return -. 2.5 <. 0.0; }");
+  check_int "builtin sqrt" 1 (result_of "fn main() { return sqrt(9.0) ==. 3.0; }");
+  check_int "builtin pow" 1 (result_of "fn main() { return pow(2.0, 10.0) ==. 1024.0; }")
+
+let test_division_by_zero () =
+  check "div by zero raises" true
+    (try
+       ignore (result_of "fn main() { return 1 / 0; }");
+       false
+     with Interp.Runtime_error _ -> true)
+
+let test_short_circuit () =
+  (* The right operand must not be evaluated when the left decides:
+     1/0 would raise. *)
+  check_int "and shortcircuits" 0 (result_of "fn main() { return 0 && (1 / 0); }");
+  check_int "or shortcircuits" 1 (result_of "fn main() { return 1 || (1 / 0); }");
+  check_int "and both" 1 (result_of "fn main() { return 2 && 3; }");
+  check_int "or falls through" 0 (result_of "fn main() { return 0 || 0; }")
+
+let test_control_flow () =
+  check_int "if/else" 10 (result_of "fn main() { if (1 < 2) { return 10; } return 20; }");
+  check_int "else taken" 20 (result_of "fn main() { if (2 < 1) { return 10; } else { return 20; } }");
+  check_int "while loop" 45
+    (result_of "fn main() { var s = 0; var i = 0; while (i < 10) { s = s + i; i = i + 1; } return s; }");
+  check_int "for loop" 45
+    (result_of "fn main() { var s = 0; for (i = 0; i < 10) { s = s + i; } return s; }");
+  check_int "break" 3
+    (result_of "fn main() { var s = 0; for (i = 0; i < 10) { if (i == 3) { break; } s = i; } return s + 1; }");
+  check_int "continue" 25
+    (result_of
+       "fn main() { var s = 0; for (i = 0; i < 10) { if (i % 2 == 0) { continue; } s = s + i; } return s; }");
+  check_int "nested loops" 100
+    (result_of
+       "fn main() { var s = 0; for (i = 0; i < 10) { for (j = 0; j < 10) { s = s + 1; } } return s; }")
+
+let test_for_induction_final_value () =
+  check_int "var holds limit after loop" 10
+    (result_of "fn main() { for (i = 0; i < 10) { } return i; }");
+  check_int "empty loop leaves init" 5
+    (result_of "fn main() { for (i = 5; i < 3) { } return i; }")
+
+let test_functions () =
+  check_int "fib" 55
+    (result_of
+       "fn fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); } fn main() { return fib(10); }");
+  check_int "void returns 0" 0 (result_of "fn f() { } fn main() { return f(); }");
+  check_int "multiple args" 6 (result_of "fn add3(a, b, c) { return a + b + c; } fn main() { return add3(1, 2, 3); }");
+  check "arity mismatch raises" true
+    (try
+       ignore (result_of "fn f(a) { return a; } fn main() { return f(1, 2); }");
+       false
+     with Interp.Runtime_error _ -> true)
+
+let test_memory_ops () =
+  check_int "malloc store/load" 99
+    (result_of "fn main() { var p = malloc(2); p[1] = 99; return p[1]; }");
+  check_int "byte ops" 200
+    (result_of "fn main() { var p = malloc(1); store1(p + 3, 200); return load1(p + 3); }");
+  check_int "globals scalar" 7
+    (result_of "global g; fn main() { g = 7; return g; }");
+  check_int "globals array" 30
+    (result_of "global a[4]; fn main() { a[0] = 10; a[1] = 20; return a[0] + a[1]; }");
+  check_int "address-of" 5
+    (result_of "global g; fn set(p) { p[0] = 5; } fn main() { set(&g); return g; }")
+
+let test_salloc_auto_free () =
+  let src = "fn f() { var buf[8]; buf[0] = 1; return buf[0]; } fn main() { var s = 0; for (i = 0; i < 100) { s = s + f(); } return s; }" in
+  let program = Privateer_lang.Parser.parse_program_exn src in
+  let st = Interp.create program in
+  let r = Interp.run_entry st in
+  check_int "runs" 100 (Value.as_int r);
+  (* All stack slots must have been freed at function exits. *)
+  check_int "no leaked stack slots" 0
+    (Privateer_machine.Allocator.live_count
+       (Privateer_machine.Machine.allocator st.machine Heap.Stack))
+
+let test_print_formatting () =
+  let program =
+    Privateer_lang.Parser.parse_program_exn
+      {|fn main() { print("i=%d f=%f x=%x pct=%%\n", 42, 1.5, 255); return 0; }|}
+  in
+  let st = Interp.create program in
+  ignore (Interp.run_entry st);
+  Alcotest.(check string) "output" "i=42 f=1.500000 x=ff pct=%\n" (Interp.output st)
+
+let test_print_arity_errors () =
+  check "too few args raises" true
+    (try
+       ignore (result_of {|fn main() { print("%d %d", 1); return 0; }|});
+       false
+     with Interp.Runtime_error _ -> true);
+  check "too many args raises" true
+    (try
+       ignore (result_of {|fn main() { print("%d", 1, 2); return 0; }|});
+       false
+     with Interp.Runtime_error _ -> true)
+
+let test_cycles_monotonic () =
+  let _, st1 = run_int "fn main() { return 1; }" in
+  let _, st2 = run_int "fn main() { var s = 0; for (i = 0; i < 100) { s = s + i; } return s; }" in
+  check "work costs cycles" true (st2.cycles > st1.cycles);
+  check "trivial program is cheap" true (st1.cycles < 100)
+
+let test_step_budget () =
+  let program = Privateer_lang.Parser.parse_program_exn "fn main() { while (1) { } return 0; }" in
+  let st = Interp.create ~max_steps:10_000 program in
+  check "infinite loop hits budget" true
+    (try
+       ignore (Interp.run_entry st);
+       false
+     with Interp.Runtime_error _ -> true)
+
+let test_hooks_fire () =
+  let src = "global g[4]; fn main() { for (i = 0; i < 3) { g[i] = i; g[0] = g[i] + 1; } return 0; }" in
+  let program = Privateer_lang.Parser.parse_program_exn src in
+  let st = Interp.create program in
+  let loads = ref 0 and stores = ref 0 and iters = ref 0 and enters = ref 0 in
+  st.hooks <-
+    { Hooks.default with
+      on_load = (fun _ ~addr:_ ~size:_ ~value:_ -> incr loads);
+      on_store = (fun _ ~addr:_ ~size:_ ~value:_ -> incr stores);
+      on_loop_iter = (fun _ ~iter:_ -> incr iters);
+      on_loop_enter = (fun _ -> incr enters) };
+  ignore (Interp.run_entry st);
+  check_int "loads" 3 !loads;
+  check_int "stores" 6 !stores;
+  check_int "iterations" 3 !iters;
+  check_int "loop entries" 1 !enters
+
+let test_alloc_free_hooks () =
+  let src = "fn main() { for (i = 0; i < 5) { var p = malloc(2); p[0] = i; free(p); } return 0; }" in
+  let program = Privateer_lang.Parser.parse_program_exn src in
+  let st = Interp.create program in
+  let allocs = ref 0 and frees = ref 0 and ctx_depth = ref (-1) in
+  st.hooks <-
+    { Hooks.default with
+      on_alloc =
+        (fun _ ~ctx _ _ ~addr:_ ~size:_ ->
+          incr allocs;
+          ctx_depth := List.length ctx);
+      on_free = (fun _ ~addr:_ ~size:_ _ -> incr frees) };
+  ignore (Interp.run_entry st);
+  check_int "allocs" 5 !allocs;
+  check_int "frees" 5 !frees;
+  (* Context: entry call + the for loop. *)
+  check_int "dynamic context depth" 2 !ctx_depth
+
+let test_fork_isolation () =
+  let src = "global g; fn main() { g = 1; return 0; }" in
+  let program = Privateer_lang.Parser.parse_program_exn src in
+  let st = Interp.create program in
+  ignore (Interp.run_entry st);
+  let child = Interp.fork st in
+  let gaddr = Hashtbl.find st.globals "g" in
+  Privateer_machine.Machine.set_int child.machine gaddr 2;
+  check_int "parent unchanged" 1 (Privateer_machine.Machine.get_int st.machine gaddr);
+  check_int "child sees own write" 2
+    (Privateer_machine.Machine.get_int child.machine gaddr)
+
+let test_assert_value_hook () =
+  let b = Builder.create () in
+  let body =
+    [ Ast.Assert_value (Builder.fresh b, Ast.Int 5, 5);
+      Ast.Assert_value (Builder.fresh b, Ast.Int 6, 5); Ast.Return (Some (Ast.Int 0)) ]
+  in
+  let program =
+    Builder.program b ~globals:[] ~funcs:[ Builder.func "main" [] body ] ~entry:"main"
+  in
+  let st = Interp.create program in
+  let oks = ref [] in
+  st.hooks <-
+    { Hooks.default with
+      on_assert_value = (fun _ ~observed:_ ~expected:_ ~ok -> oks := ok :: !oks) };
+  ignore (Interp.run_entry st);
+  check "first passes, second fails" true (!oks = [ false; true ])
+
+let test_check_heap_stmt () =
+  let b = Builder.create () in
+  let alloc_e = Builder.malloc b (Ast.Int 16) in
+  let body =
+    [ Ast.Assign ("p", alloc_e);
+      Ast.Check_heap (Builder.fresh b, Ast.Local "p", Heap.Default);
+      Ast.Check_heap (Builder.fresh b, Ast.Local "p", Heap.Private);
+      Ast.Return (Some (Ast.Int 0)) ]
+  in
+  let program =
+    Builder.program b ~globals:[] ~funcs:[ Builder.func "main" [] body ] ~entry:"main"
+  in
+  let st = Interp.create program in
+  let outcomes = ref [] in
+  st.hooks <-
+    { Hooks.default with
+      on_check_heap = (fun _ ~addr:_ _ ~ok -> outcomes := ok :: !outcomes) };
+  ignore (Interp.run_entry st);
+  check "default heap passes, private fails" true (!outcomes = [ false; true ])
+
+let suite =
+  [ Alcotest.test_case "integer arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "float arithmetic" `Quick test_float_arithmetic;
+    Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+    Alcotest.test_case "short-circuit && ||" `Quick test_short_circuit;
+    Alcotest.test_case "control flow" `Quick test_control_flow;
+    Alcotest.test_case "for induction final value" `Quick test_for_induction_final_value;
+    Alcotest.test_case "functions and recursion" `Quick test_functions;
+    Alcotest.test_case "memory operations" `Quick test_memory_ops;
+    Alcotest.test_case "stack slots auto-free" `Quick test_salloc_auto_free;
+    Alcotest.test_case "print formatting" `Quick test_print_formatting;
+    Alcotest.test_case "print arity errors" `Quick test_print_arity_errors;
+    Alcotest.test_case "cycle accounting" `Quick test_cycles_monotonic;
+    Alcotest.test_case "step budget stops runaways" `Quick test_step_budget;
+    Alcotest.test_case "load/store/loop hooks" `Quick test_hooks_fire;
+    Alcotest.test_case "alloc/free hooks and context" `Quick test_alloc_free_hooks;
+    Alcotest.test_case "fork isolation" `Quick test_fork_isolation;
+    Alcotest.test_case "assert-value hook" `Quick test_assert_value_hook;
+    Alcotest.test_case "check-heap statement" `Quick test_check_heap_stmt ]

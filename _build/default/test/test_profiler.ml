@@ -1,0 +1,297 @@
+(* Unit tests for the profilers (paper section 4.1). *)
+
+open Privateer_ir
+open Privateer_interp
+open Privateer_profile
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let profile src =
+  let program = Privateer_lang.Parser.parse_program_exn src in
+  let p, st = Profiler.profile_run program in
+  (program, p, st)
+
+(* The node id of the single For loop in [fname]. *)
+let loop_in program fname =
+  match
+    List.find_opt
+      (fun ((f : Ast.func), _) -> f.fname = fname)
+      (Ast.loops_of_program program)
+  with
+  | Some (_, (id, _)) -> id
+  | None -> Alcotest.fail ("no loop in " ^ fname)
+
+let test_global_objects_registered () =
+  let _, p, _ = profile "global g[4]; fn main() { g[0] = 1; return g[0]; }" in
+  check "global named" true (Objname.Set.mem (Objname.Global "g") (Profiler.all_objects p));
+  match Profiler.object_size p (Objname.Global "g") with
+  | Some 32 -> ()
+  | other -> Alcotest.fail (Printf.sprintf "size %s" (match other with Some n -> string_of_int n | None -> "?"))
+
+let test_site_object_mapping () =
+  let program, p, _ =
+    profile
+      "global a[4]; global b[4]; fn main() { var t = 0; for (i = 0; i < 4) { t = a[i]; b[i] = t; } return t; }"
+  in
+  ignore program;
+  (* Find the load and store sites via the AST. *)
+  let sites = ref [] in
+  List.iter
+    (fun (f : Ast.func) ->
+      Ast.iter_exprs
+        (fun e -> match e with Ast.Load (id, _, _) -> sites := `L id :: !sites | _ -> ())
+        f.body;
+      Ast.iter_stmts
+        (fun s -> match s with Ast.Store (id, _, _, _) -> sites := `S id :: !sites | _ -> ())
+        f.body)
+    program.funcs;
+  let a_sites, b_sites =
+    List.partition
+      (fun site ->
+        let id = match site with `L id | `S id -> id in
+        Objname.Set.mem (Objname.Global "a") (Profiler.objects_at_site p id))
+      (List.filter
+         (fun site ->
+           let id = match site with `L id | `S id -> id in
+           not (Objname.Set.is_empty (Profiler.objects_at_site p id)))
+         !sites)
+  in
+  check_int "one site touches a" 1 (List.length a_sites);
+  check_int "one site touches b" 1 (List.length b_sites)
+
+let test_alloc_context_naming () =
+  (* The same malloc site called from two different call sites yields
+     two distinct object names (paper's dijkstra line-11 example). *)
+  let _, p, _ =
+    profile
+      {|fn mk() { return malloc(1); }
+fn a() { return mk(); }
+fn b() { return mk(); }
+fn main() { var x = a(); var y = b(); free(x); free(y); return 0; }|}
+  in
+  let sites =
+    Objname.Set.filter
+      (fun o -> match o with Objname.Site _ -> true | _ -> false)
+      (Profiler.all_objects p)
+  in
+  check_int "two context-distinguished names" 2 (Objname.Set.cardinal sites)
+
+let test_short_lived_positive () =
+  let program, p, _ =
+    profile
+      "fn main() { for (i = 0; i < 5) { var n = malloc(2); n[0] = i; free(n); } return 0; }"
+  in
+  let loop = loop_in program "main" in
+  let site_names =
+    Objname.Set.filter
+      (fun o -> match o with Objname.Site _ -> true | _ -> false)
+      (Profiler.all_objects p)
+  in
+  check_int "one dynamic name" 1 (Objname.Set.cardinal site_names);
+  Objname.Set.iter
+    (fun o -> check "short-lived" true (Profiler.is_short_lived p o ~loop))
+    site_names
+
+let test_short_lived_negative_escape () =
+  (* Object freed in the NEXT iteration: crosses an iteration
+     boundary, so not short-lived. *)
+  let program, p, _ =
+    profile
+      {|global keep;
+fn main() {
+  keep = 0;
+  for (i = 0; i < 5) {
+    if (keep != 0) { free(keep); }
+    keep = malloc(1);
+  }
+  free(keep);
+  return 0;
+}|}
+  in
+  let loop = loop_in program "main" in
+  Objname.Set.iter
+    (fun o ->
+      match o with
+      | Objname.Site _ -> check "escaping object not short-lived" false (Profiler.is_short_lived p o ~loop)
+      | _ -> ())
+    (Profiler.all_objects p)
+
+let test_short_lived_negative_born_outside () =
+  (* Allocated before the loop, freed inside it. *)
+  let program, p, _ =
+    profile
+      "fn main() { var x = malloc(1); for (i = 0; i < 3) { if (i == 1) { free(x); } } return 0; }"
+  in
+  let loop = loop_in program "main" in
+  Objname.Set.iter
+    (fun o ->
+      match o with
+      | Objname.Site _ -> check "born outside loop" false (Profiler.is_short_lived p o ~loop)
+      | _ -> ())
+    (Profiler.all_objects p)
+
+let test_flow_deps_cross_iteration () =
+  let program, p, _ =
+    profile "global acc; fn main() { acc = 0; for (i = 0; i < 4) { acc = acc + i; } return acc; }"
+  in
+  let loop = loop_in program "main" in
+  check "cross-iteration flow dep on acc" true (Profiler.flow_deps p ~loop <> [])
+
+let test_flow_deps_intra_iteration_only () =
+  (* Written then read within each iteration: no loop-carried flow. *)
+  let program, p, _ =
+    profile "global t; fn main() { var s = 0; for (i = 0; i < 4) { t = i; s = s + t; } return s; }"
+  in
+  let loop = loop_in program "main" in
+  check_int "no cross-iteration deps" 0 (List.length (Profiler.flow_deps p ~loop))
+
+let test_flow_deps_recycled_address () =
+  (* A freed-and-reallocated address must not produce a phantom dep:
+     the write went to a *different* object. *)
+  let program, p, _ =
+    profile
+      "fn main() { var s = 0; for (i = 0; i < 4) { var n = malloc(1); n[0] = i; s = s + n[0]; free(n); } return s; }"
+  in
+  let loop = loop_in program "main" in
+  check_int "no phantom dep through recycled storage" 0
+    (List.length (Profiler.flow_deps p ~loop))
+
+let test_dep_value_constancy () =
+  (* The flowing value is always 0: a value-prediction candidate. *)
+  let program, p, _ =
+    profile
+      {|global flag;
+fn main() {
+  var s = 0;
+  for (i = 0; i < 6) {
+    s = s + flag;      // reads 0 written by previous iteration
+    flag = 1;
+    flag = 0;          // reset before iteration end
+  }
+  return s;
+}|}
+  in
+  let loop = loop_in program "main" in
+  let deps = Profiler.flow_deps p ~loop in
+  check "has deps" true (deps <> []);
+  List.iter
+    (fun (_, _, (info : Profiler.dep_info)) ->
+      (match info.dep_value with
+      | Profiler.Const (Value.VInt 0) -> ()
+      | _ -> Alcotest.fail "expected constant 0");
+      match info.dep_addr with
+      | `Addr _ -> ()
+      | `Many -> Alcotest.fail "expected single address")
+    deps
+
+let test_branch_bias () =
+  let program, p, _ =
+    profile
+      {|global g;
+fn main() {
+  for (i = 0; i < 10) {
+    if (i < 100) { g = i; }      // always taken
+    if (i > 100) { g = 0 - 1; }  // never taken
+    if (i % 2 == 0) { g = 2; }   // mixed
+  }
+  return g;
+}|}
+  in
+  ignore program;
+  let branches = ref [] in
+  List.iter
+    (fun (f : Ast.func) ->
+      Ast.iter_stmts
+        (fun s -> match s with Ast.If (id, _, _, _) -> branches := id :: !branches | _ -> ())
+        f.body)
+    program.funcs;
+  let biases = List.map (fun id -> Profiler.branch_bias p id) (List.rev !branches) in
+  check "always / never / mixed" true (biases = [ Some true; Some false; None ])
+
+let test_loop_stats () =
+  let program, p, _ =
+    profile
+      "fn main() { var s = 0; for (o = 0; o < 3) { for (i = 0; i < 5) { s = s + 1; } } return s; }"
+  in
+  let outer, inner =
+    match Ast.loops_of_program program with
+    | [ (_, (o, _)); (_, (i, _)) ] -> (o, i)
+    | _ -> Alcotest.fail "expected two loops"
+  in
+  (match Profiler.loop_summary p inner with
+  | Some s ->
+    check_int "inner invocations" 3 s.loop_invocations;
+    check_int "inner trips" 15 s.loop_trips
+  | None -> Alcotest.fail "inner stats missing");
+  match (Profiler.loop_summary p outer, Profiler.loop_summary p inner) with
+  | Some o, Some i ->
+    check "outer at least as heavy as inner" true (o.loop_cycles >= i.loop_cycles);
+    check "weight ordering" true
+      (match Profiler.loops_by_weight p with
+      | (first, _) :: _ -> first = outer
+      | [] -> false)
+  | _ -> Alcotest.fail "stats missing"
+
+let test_const_load () =
+  let program, p, _ =
+    profile
+      {|global k; global v;
+fn main() {
+  k = 7;
+  var s = 0;
+  for (i = 0; i < 5) { s = s + k; v = i; s = s + v; }
+  return s;
+}|}
+  in
+  ignore program;
+  (* Find load sites for k and v. *)
+  let konst = ref None and varying = ref None in
+  List.iter
+    (fun (f : Ast.func) ->
+      Ast.iter_exprs
+        (fun e ->
+          match e with
+          | Ast.Load (id, _, Ast.Global_addr "k") -> konst := Some id
+          | Ast.Load (id, _, Ast.Global_addr "v") -> varying := Some id
+          | _ -> ())
+        f.body)
+    program.funcs;
+  (match !konst with
+  | Some id -> (
+    match Profiler.const_load_value p id with
+    | Some (Value.VInt 7) -> ()
+    | _ -> Alcotest.fail "k should profile as constant 7")
+  | None -> Alcotest.fail "no k load site");
+  match !varying with
+  | Some id -> check "v load varies" true (Profiler.const_load_value p id = None)
+  | None -> Alcotest.fail "no v load site"
+
+let test_object_at_addr () =
+  let src = "global g[8]; fn main() { g[0] = 1; return 0; }" in
+  let program = Privateer_lang.Parser.parse_program_exn src in
+  let st = Interp.create program in
+  let p = Profiler.create () in
+  Profiler.attach p st;
+  ignore (Interp.run_entry st);
+  let base = Hashtbl.find st.globals "g" in
+  (match Profiler.object_at_addr p (base + 40) with
+  | Some (Objname.Global "g", b) -> check_int "base" base b
+  | _ -> Alcotest.fail "interior address should map to g");
+  check "address outside any object" true (Profiler.object_at_addr p 0x9999 = None)
+
+let suite =
+  [ Alcotest.test_case "globals registered as objects" `Quick test_global_objects_registered;
+    Alcotest.test_case "pointer-to-object site mapping" `Quick test_site_object_mapping;
+    Alcotest.test_case "allocation context naming" `Quick test_alloc_context_naming;
+    Alcotest.test_case "short-lived: alloc+free in iteration" `Quick test_short_lived_positive;
+    Alcotest.test_case "short-lived: escape to next iteration" `Quick test_short_lived_negative_escape;
+    Alcotest.test_case "short-lived: born outside loop" `Quick test_short_lived_negative_born_outside;
+    Alcotest.test_case "flow deps: cross-iteration detected" `Quick test_flow_deps_cross_iteration;
+    Alcotest.test_case "flow deps: intra-iteration ignored" `Quick test_flow_deps_intra_iteration_only;
+    Alcotest.test_case "flow deps: recycled addresses" `Quick test_flow_deps_recycled_address;
+    Alcotest.test_case "dep value constancy" `Quick test_dep_value_constancy;
+    Alcotest.test_case "branch bias" `Quick test_branch_bias;
+    Alcotest.test_case "loop statistics" `Quick test_loop_stats;
+    Alcotest.test_case "constant-load detection" `Quick test_const_load;
+    Alcotest.test_case "object_at_addr" `Quick test_object_at_addr ]

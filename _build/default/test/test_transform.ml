@@ -1,0 +1,188 @@
+(* Unit tests for the privatization transformation (paper 4.4-4.6). *)
+
+open Privateer_ir
+open Privateer_profile
+open Privateer_analysis
+open Privateer_transform
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let compile src =
+  let program = Privateer_lang.Parser.parse_program_exn src in
+  let p, _ = Profiler.profile_run program in
+  let selection = Selection.select program p in
+  (program, Transform.apply program p selection)
+
+let quickstart_src =
+  {|global input[8]; global scratch[8]; global out[64];
+fn main() {
+  for (j = 0; j < 8) { input[j] = j * 3; }
+  for (k = 0; k < 32) {
+    var n = malloc(1);
+    n[0] = k;
+    for (i = 0; i < 8) { scratch[i] = input[i] + n[0]; }
+    var s = 0;
+    for (i2 = 0; i2 < 8) { s = s + scratch[i2]; }
+    out[k] = s;
+    free(n);
+  }
+  return 0;
+}|}
+
+let test_globals_rehomed () =
+  let _, tr = compile quickstart_src in
+  let heap_of g =
+    match Ast.find_global tr.program g with
+    | Some { gheap; _ } -> gheap
+    | None -> Alcotest.fail ("no global " ^ g)
+  in
+  check "scratch -> private" true (heap_of "scratch" = Some Heap.Private);
+  check "out -> private" true (heap_of "out" = Some Heap.Private);
+  check "input -> read-only" true (heap_of "input" = Some Heap.Read_only)
+
+let test_alloc_sites_rehomed () =
+  let _, tr = compile quickstart_src in
+  let found = ref None in
+  List.iter
+    (fun (f : Ast.func) ->
+      Ast.iter_exprs
+        (fun e -> match e with Ast.Alloc (_, _, heap, _) -> found := Some heap | _ -> ())
+        f.body)
+    tr.program.funcs;
+  check "malloc redirected to short-lived heap" true
+    (!found = Some (Some Heap.Short_lived))
+
+let test_transformed_program_validates () =
+  let _, tr = compile quickstart_src in
+  check "validates" true (Validate.check tr.program = [])
+
+let test_sequential_semantics_preserved () =
+  (* The rewritten program run WITHOUT the speculative runtime must
+     behave exactly like the original (allocation re-homing and cold
+     markers are semantically transparent). *)
+  let program, tr = compile quickstart_src in
+  let r1, o1 =
+    let st = Privateer_interp.Interp.create program in
+    let r = Privateer_interp.Interp.run_entry st in
+    (r, Privateer_interp.Interp.output st)
+  in
+  let r2, o2 =
+    let st = Privateer_interp.Interp.create tr.program in
+    let r = Privateer_interp.Interp.run_entry st in
+    (r, Privateer_interp.Interp.output st)
+  in
+  check "results equal" true (Privateer_interp.Value.equal r1 r2);
+  Alcotest.(check string) "outputs equal" o1 o2
+
+let test_manifest_checks_cover_region () =
+  let _, tr = compile quickstart_src in
+  check "manifest has access checks" true (Hashtbl.length tr.manifest.checks > 0);
+  (* Direct global-array accesses are provable: expect elisions. *)
+  check "some checks elided" true (Manifest.elided_check_count tr.manifest > 0)
+
+let test_pointer_chase_not_elided () =
+  (* When an object mixes data and pointer fields, values loaded from
+     it are statically ambiguous (our points-to is field-insensitive,
+     like the paper's weak static analysis), so separation checks on
+     addresses derived from them must stay live — the analogue of
+     Figure 2b keeping qKill's check. *)
+  let _, tr =
+    compile
+      {|global out[64];
+fn main() {
+  for (k = 0; k < 32) {
+    var node = malloc(2);
+    node[0] = k;
+    node[1] = node;          // a pointer field taints the object
+    out[node[0]] = k;        // index loaded from the tainted object
+    free(node);
+  }
+  return 0;
+}|}
+  in
+  check "live checks remain" true (Manifest.live_check_count tr.manifest > 0);
+  check "still elides the provable ones" true (Manifest.elided_check_count tr.manifest > 0)
+
+let test_control_spec_marker_prepended () =
+  let _, tr =
+    compile
+      {|global out[16]; global err;
+fn main() {
+  for (i = 0; i < 16) {
+    out[i] = i;
+    if (i < 1000) { out[i] = out[i] + 1; } else { err = err + 1; }
+  }
+  return 0;
+}|}
+  in
+  (* The cold side must now start with a Misspec marker, followed by
+     the original code. *)
+  let found = ref false in
+  List.iter
+    (fun (f : Ast.func) ->
+      Ast.iter_stmts
+        (fun s ->
+          match s with
+          | Ast.If (_, _, _, Ast.Misspec _ :: _ :: _) -> found := true
+          | _ -> ())
+        f.body)
+    tr.program.funcs;
+  check "marker prepended, original kept" true !found
+
+let test_fresh_ids_above_watermark () =
+  let program, tr =
+    compile
+      {|global out[16]; global err;
+fn main() {
+  for (i = 0; i < 16) {
+    out[i] = i;
+    if (i < 1000) { out[i] = out[i] + 1; } else { err = err + 1; }
+  }
+  return 0;
+}|}
+  in
+  check "next_id advanced" true (tr.program.next_id >= program.next_id);
+  check "still validates" true (Validate.check tr.program = [])
+
+let test_redux_sites_marked () =
+  let _, tr =
+    compile
+      {|global total; global data[64];
+fn main() {
+  for (j = 0; j < 64) { data[j] = j; }
+  total = 0;
+  for (i = 0; i < 64) {
+    total = total + data[i];
+  }
+  var x = total;
+  return x;
+}|}
+  in
+  let redux_sites =
+    Hashtbl.fold
+      (fun _ (c : Manifest.site_check) acc -> if c.redux_op <> None then acc + 1 else acc)
+      tr.manifest.checks 0
+  in
+  (* Both the load and the store of the reduction update. *)
+  check_int "reduction load and store sanctioned" 2 redux_sites
+
+let test_site_counts () =
+  let _, tr = compile quickstart_src in
+  let counts = Manifest.site_counts tr.manifest in
+  check_int "private sites" 2 (List.assoc Heap.Private counts);
+  check_int "short-lived sites" 1 (List.assoc Heap.Short_lived counts);
+  check_int "read-only sites" 1 (List.assoc Heap.Read_only counts);
+  check_int "redux sites" 0 (List.assoc Heap.Redux counts)
+
+let suite =
+  [ Alcotest.test_case "globals re-homed" `Quick test_globals_rehomed;
+    Alcotest.test_case "allocation sites re-homed" `Quick test_alloc_sites_rehomed;
+    Alcotest.test_case "transformed program validates" `Quick test_transformed_program_validates;
+    Alcotest.test_case "sequential semantics preserved" `Quick test_sequential_semantics_preserved;
+    Alcotest.test_case "manifest covers region accesses" `Quick test_manifest_checks_cover_region;
+    Alcotest.test_case "pointer chase keeps live check" `Quick test_pointer_chase_not_elided;
+    Alcotest.test_case "control-spec marker prepended" `Quick test_control_spec_marker_prepended;
+    Alcotest.test_case "fresh node ids" `Quick test_fresh_ids_above_watermark;
+    Alcotest.test_case "reduction sites sanctioned" `Quick test_redux_sites_marked;
+    Alcotest.test_case "Table-3 style site counts" `Quick test_site_counts ]
