@@ -31,14 +31,19 @@ let compiled wl =
     Hashtbl.replace compiled_cache wl.Workload.name c;
     c
 
-let config ?(workers = 24) ?checkpoint_period ?inject ?(serial_commit = false) () =
+let config ?(workers = 24) ?checkpoint_period ?inject ?(serial_commit = false)
+    ?(schedule = Privateer_parallel.Schedule.Cyclic) ?(adaptive = false) ?throttle () =
   { Privateer_parallel.Executor.default_config with
-    workers; checkpoint_period; inject; serial_commit }
+    workers; checkpoint_period; inject; serial_commit; schedule;
+    adaptive_period = adaptive; throttle }
 
-let run_parallel ?workers ?checkpoint_period ?inject ?serial_commit c =
+let run_parallel ?workers ?checkpoint_period ?inject ?serial_commit ?schedule
+    ?adaptive ?throttle c =
   Pipeline.run_parallel
     ~setup:(Workload.setup c.wl Workload.Ref)
-    ~config:(config ?workers ?checkpoint_period ?inject ?serial_commit ())
+    ~config:
+      (config ?workers ?checkpoint_period ?inject ?serial_commit ?schedule ?adaptive
+         ?throttle ())
     c.tr
 
 let speedup c (par : Pipeline.par_run) =

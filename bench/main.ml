@@ -269,6 +269,77 @@ let fig9 () =
         (Table.fx (speedup c par)))
     [ 0.0; 0.005; 0.01 ]
 
+(* ---- scheduler comparison ------------------------------------------------ *)
+
+(* Cyclic vs Blocked vs Chunked self-scheduling on the two loops with
+   the most contrasting iteration profiles: dijkstra (uneven relax
+   work per node) and blackscholes (uniform per-option work).  The
+   committed state is schedule-independent; only the simulated wall
+   clock differs, so per-policy wall cycles are also emitted as JSON
+   for downstream tooling. *)
+let sched () =
+  section "Scheduler comparison: iteration-assignment policies at 24 workers";
+  let policies =
+    [ Privateer_parallel.Schedule.Cyclic; Privateer_parallel.Schedule.Blocked;
+      Privateer_parallel.Schedule.Chunked 4; Privateer_parallel.Schedule.Chunked 16 ]
+  in
+  let wls = [ Dijkstra.workload; Blackscholes.workload ] in
+  let t =
+    Table.create
+      ~aligns:(Table.Left :: List.concat_map (fun _ -> [ Table.Right; Table.Right ]) wls)
+      ("policy"
+      :: List.concat_map
+           (fun (wl : Workload.t) -> [ wl.name ^ " wall"; wl.name ^ " speedup" ])
+           wls)
+  in
+  let results =
+    List.map
+      (fun policy ->
+        let runs =
+          List.map
+            (fun wl ->
+              let c = compiled wl in
+              let par = run_parallel ~schedule:policy c in
+              (wl, c, par))
+            wls
+        in
+        Table.add_row t
+          (Privateer_parallel.Schedule.to_string policy
+          :: List.concat_map
+               (fun (_, c, (par : Pipeline.par_run)) ->
+                 [ string_of_int par.stats.wall_cycles; Table.fx (speedup c par) ])
+               runs);
+        (policy, runs))
+      policies
+  in
+  Table.print t;
+  let json =
+    let open Privateer_support.Json in
+    Obj
+      [ ( "scheduler_comparison",
+          List
+            (List.map
+               (fun (policy, runs) ->
+                 Obj
+                   [ ("policy", String (Privateer_parallel.Schedule.to_string policy));
+                     ( "workloads",
+                       List
+                         (List.map
+                            (fun ((wl : Workload.t), c, (par : Pipeline.par_run)) ->
+                              Obj
+                                [ ("program", String wl.name);
+                                  ("wall_cycles", Int par.stats.wall_cycles);
+                                  ("parallel_cycles", Int par.par_cycles);
+                                  ("speedup", Float (speedup c par));
+                                  ("output_identical",
+                                   Bool (String.equal c.seq.seq_output par.par_output))
+                                ])
+                            runs) ) ])
+               results) ) ]
+  in
+  print_newline ();
+  print_endline (Privateer_support.Json.to_string json)
+
 (* ---- ablations ----------------------------------------------------------- *)
 
 let ablation () =
@@ -353,7 +424,7 @@ let ablation () =
 let experiments =
   [ ("table1", table1); ("table2", table2); ("table3", table3); ("fig2", fig2);
     ("fig6", fig6); ("fig7", fig7); ("fig8", fig8); ("fig9", fig9);
-    ("ablation", ablation) ]
+    ("sched", sched); ("ablation", ablation) ]
 
 let () =
   match Array.to_list Sys.argv with

@@ -51,6 +51,36 @@ let checkpoint_arg =
   Arg.(value & opt (some int) None
        & info [ "checkpoint" ] ~docv:"K" ~doc:"Checkpoint period in iterations.")
 
+let schedule_conv =
+  let parse s =
+    match Privateer_parallel.Schedule.of_string s with
+    | Some sched -> Ok sched
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown schedule %S (cyclic|blocked|chunked:N)" s))
+  in
+  Arg.conv
+    (parse, fun fmt s -> Format.pp_print_string fmt (Privateer_parallel.Schedule.to_string s))
+
+let schedule_arg =
+  Arg.(value & opt schedule_conv Privateer_parallel.Schedule.Cyclic
+       & info [ "schedule" ] ~docv:"POLICY"
+           ~doc:"Iteration schedule: cyclic, blocked, or chunked:N.")
+
+let adaptive_arg =
+  Arg.(value & flag
+       & info [ "adaptive" ]
+           ~doc:"Adapt the checkpoint period to misspeculation (shrink on failure, \
+                 grow back on clean intervals).")
+
+let throttle_arg =
+  Arg.(value & opt (some int) None
+       & info [ "throttle" ] ~docv:"N"
+           ~doc:"Demote a loop to sequential execution after N misspeculations in \
+                 one invocation and suspend speculation on it.")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit a machine-readable JSON report.")
+
 (* Deterministically spaced injection at a given rate. *)
 let spaced_injection rate =
   if rate <= 0.0 then None
@@ -60,9 +90,11 @@ let spaced_injection rate =
         int_of_float (float_of_int (iter + 1) *. rate)
         > int_of_float (float_of_int iter *. rate))
 
-let config ~workers ~inject ~checkpoint =
+let config ?(schedule = Privateer_parallel.Schedule.Cyclic) ?(adaptive = false)
+    ?throttle ~workers ~inject ~checkpoint () =
   { Privateer_parallel.Executor.default_config with
-    workers; inject = spaced_injection inject; checkpoint_period = checkpoint }
+    workers; inject = spaced_injection inject; checkpoint_period = checkpoint;
+    schedule; adaptive_period = adaptive; throttle }
 
 (* ---- commands --------------------------------------------------------- *)
 
@@ -116,6 +148,46 @@ let dump_cmd =
   Cmd.v (Cmd.info "dump" ~doc:"Pretty-print a workload's IR")
     Term.(const run $ wl_arg $ transformed)
 
+(* Machine-readable report: whole-run numbers, every stats counter,
+   the Figure 8 breakdown, and the per-loop engine-health table. *)
+let json_report ~seq ~(par : Pipeline.par_run) ~fallbacks =
+  let open Privateer_support.Json in
+  let stats = par.stats in
+  let b = Privateer_runtime.Stats.breakdown stats in
+  let loops =
+    List.map
+      (fun (loop, (ls : Privateer_runtime.Stats.loop_stats)) ->
+        Obj
+          [ ("loop", Int loop); ("invocations", Int ls.l_invocations);
+            ("misspeculations", Int ls.l_misspeculations);
+            ("wall_cycles", Int ls.l_wall_cycles); ("demotions", Int ls.l_demotions);
+            ("suspended_invocations", Int ls.l_suspended_invocations) ])
+      (Pipeline.loop_report par)
+  in
+  Obj
+    [ ("sequential_cycles", Int seq.Pipeline.seq_cycles);
+      ("parallel_cycles", Int par.par_cycles);
+      ( "speedup",
+        Float (float_of_int seq.Pipeline.seq_cycles /. float_of_int par.par_cycles) );
+      ("output_identical", Bool (String.equal seq.seq_output par.par_output));
+      ("invocations", Int stats.invocations); ("checkpoints", Int stats.checkpoints);
+      ("misspeculations", Int stats.misspeculations);
+      ("recovered_iterations", Int stats.recovered_iterations);
+      ("fallbacks", Int fallbacks); ("iterations", Int stats.iterations);
+      ("private_bytes_read", Int stats.private_bytes_read);
+      ("private_bytes_written", Int stats.private_bytes_written);
+      ("separation_checks", Int stats.separation_checks);
+      ("cyc_checkpoint", Int stats.cyc_checkpoint);
+      ("cyc_recovery", Int stats.cyc_recovery);
+      ("wall_cycles", Int stats.wall_cycles); ("workers", Int stats.workers);
+      ( "breakdown",
+        Obj
+          [ ("useful", Float b.useful); ("private_read", Float b.private_read);
+            ("private_write", Float b.private_write);
+            ("checkpoint", Float b.checkpoint); ("spawn_join", Float b.spawn_join);
+            ("other", Float b.other) ] );
+      ("loops", List loops) ]
+
 let report_run ~seq ~(par : Pipeline.par_run) ~fallbacks =
   let stats = par.stats in
   Printf.printf "sequential cycles : %d\n" seq.Pipeline.seq_cycles;
@@ -136,18 +208,24 @@ let report_run ~seq ~(par : Pipeline.par_run) ~fallbacks =
     b.useful b.private_read b.private_write b.checkpoint b.spawn_join
 
 let run_cmd =
-  let run wl workers input inject checkpoint =
+  let run wl workers input inject checkpoint schedule adaptive throttle json =
     let program = Workload.program wl in
     let tr, _ = Pipeline.compile ~setup:(Workload.setup wl Train) program in
     let seq = Pipeline.run_sequential ~setup:(Workload.setup wl input) program in
     let par =
       Pipeline.run_parallel ~setup:(Workload.setup wl input)
-        ~config:(config ~workers ~inject ~checkpoint) tr
+        ~config:(config ~schedule ~adaptive ?throttle ~workers ~inject ~checkpoint ())
+        tr
     in
-    report_run ~seq ~par ~fallbacks:par.fallbacks
+    if json then
+      print_endline
+        (Privateer_support.Json.to_string
+           (json_report ~seq ~par ~fallbacks:par.fallbacks))
+    else report_run ~seq ~par ~fallbacks:par.fallbacks
   in
   Cmd.v (Cmd.info "run" ~doc:"Profile, privatize and run a workload in parallel")
-    Term.(const run $ wl_arg $ workers_arg $ input_arg $ inject_arg $ checkpoint_arg)
+    Term.(const run $ wl_arg $ workers_arg $ input_arg $ inject_arg $ checkpoint_arg
+          $ schedule_arg $ adaptive_arg $ throttle_arg $ json_arg)
 
 let compare_cmd =
   let run wl workers =
@@ -157,7 +235,7 @@ let compare_cmd =
     let seq = Pipeline.run_sequential ~setup:(Workload.setup wl Ref) program in
     let par =
       Pipeline.run_parallel ~setup:(Workload.setup wl Ref)
-        ~config:(config ~workers ~inject:0.0 ~checkpoint:None) tr
+        ~config:(config ~workers ~inject:0.0 ~checkpoint:None ()) tr
     in
     let report = Privateer_baselines.Doall_only.select program profiler in
     let dst, _, _ =
@@ -184,7 +262,7 @@ let file_cmd =
     let seq = Pipeline.run_sequential program in
     let par =
       Pipeline.run_parallel
-        ~config:(config ~workers ~inject:0.0 ~checkpoint:None) tr
+        ~config:(config ~workers ~inject:0.0 ~checkpoint:None ()) tr
     in
     print_string par.par_output;
     report_run ~seq ~par ~fallbacks:par.fallbacks

@@ -74,6 +74,10 @@ let run_parallel ?(setup = no_setup) ?(config = Executor.default_config)
   { par_cycles = st.cycles; par_output = Interp.output st; par_result = result;
     stats = ex.stats; fallbacks = ex.fallbacks }
 
+(* Per-loop engine health of a parallel run, sorted by loop id:
+   invocations, misspeculations, wall cycles, throttle demotions. *)
+let loop_report (run : par_run) = Stats.loop_table run.stats
+
 (* ---- whole-experiment convenience ------------------------------------ *)
 
 type experiment = {

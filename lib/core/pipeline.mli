@@ -71,6 +71,12 @@ val run_parallel :
   Privateer_transform.Transform.result ->
   par_run
 
+(** Per-loop engine health of a parallel run, sorted by loop id:
+    invocations, misspeculations, wall cycles, throttle demotions and
+    suspensions. *)
+val loop_report :
+  par_run -> (int * Privateer_runtime.Stats.loop_stats) list
+
 type experiment = {
   sequential : seq_run;
   parallel : par_run;

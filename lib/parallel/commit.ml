@@ -1,0 +1,136 @@
+(* Checkpoint contribution, merge, and commit (paper section 5.2).
+
+   Per interval, each worker contributes its speculative state
+   (dirty-page scan); the merge performs phase-2 privacy validation
+   and last-writer-wins combination; a clean merge commits into the
+   main process: private-byte overlay, absolute reduction values,
+   register-reduction folds, deferred output in iteration order, and
+   per-worker metadata reset.  The final interval additionally adopts
+   allocator state and live-out private registers from the worker
+   that ran the last iteration. *)
+
+open Privateer_machine
+open Privateer_interp
+open Privateer_analysis
+open Privateer_transform
+open Privateer_runtime
+
+(* Everything one worker cohort's commits need; rebuilt at each
+   (re)spawn because the reduction bases are read from the main
+   process at that point. *)
+type ctx = {
+  env : Worker.env;
+  ranges : (int * int * Privateer_ir.Ast.binop) list; (* redux heap ranges *)
+  reg_ops : (string * Privateer_ir.Ast.binop) list; (* register reductions *)
+  redux_base : (int * Value.t) list; (* absolute redux words at spawn *)
+  reg_base : (string * Value.t) list; (* redux register values at spawn *)
+  io : Deferred_io.t;
+  emit_main : string -> unit;
+  serial_commit : bool;
+}
+
+let make_ctx (env : Worker.env) (st : Interp.t) fr spec ~io ~emit_main ~serial_commit =
+  let ranges = Worker.redux_ranges st spec in
+  let reg_ops = Worker.reduction_regs spec in
+  { env; ranges; reg_ops; redux_base = Worker.read_redux_base st ranges;
+    reg_base =
+      List.map (fun (name, _) -> (name, Hashtbl.find fr.Interp.locals name)) reg_ops;
+    io; emit_main; serial_commit }
+
+let write_value_word machine addr (v : Value.t) =
+  let bits, is_float = Value.to_bits v in
+  Machine.write_word machine addr bits is_float
+
+(* Contribution collection: each worker's interval state plus the
+   page-granular copy cost on its clock. *)
+let collect ctx workers ~interval_start =
+  let cm = ctx.env.Worker.cm in
+  let stats = ctx.env.Worker.stats in
+  List.map
+    (fun (w : Worker.t) ->
+      let reg_partials =
+        List.map
+          (fun (name, _) -> (name, Hashtbl.find w.w_frame.Interp.locals name))
+          ctx.reg_ops
+      in
+      let c =
+        Checkpoint.contribution_of_worker ~worker:w.w_id ~interval_start
+          w.w_st.machine ~redux_ranges:ctx.ranges ~reg_partials
+      in
+      let copy_cost =
+        cm.c_checkpoint_base + (c.Checkpoint.pages_touched * cm.c_checkpoint_page)
+      in
+      w.w_clock <- w.w_clock + copy_cost;
+      stats.cyc_checkpoint <- stats.cyc_checkpoint + copy_cost;
+      c)
+    workers
+
+(* Commit a cleanly merged interval [lo, hi) into the main process.
+   Returns the simulated time at which the checkpoint retires. *)
+let commit_interval ctx (st : Interp.t) fr workers (m : Checkpoint.merged) ~lo ~hi =
+  let cm = ctx.env.Worker.cm in
+  let stats = ctx.env.Worker.stats in
+  (* Overlay private bytes, absolute reduction values, deferred output. *)
+  Checkpoint.apply_overlay st.machine m;
+  List.iter
+    (fun (addr, v) -> write_value_word st.machine addr v)
+    (Checkpoint.merge_redux ~redux_ranges:ctx.ranges ~base:ctx.redux_base
+       m.Checkpoint.contributions);
+  List.iter
+    (fun (name, v) -> Hashtbl.replace fr.Interp.locals name v)
+    (Checkpoint.merge_reg_partials ~ops:ctx.reg_ops ~base:ctx.reg_base
+       m.Checkpoint.contributions);
+  Deferred_io.commit_range ctx.io ~lo ~hi ~sink:ctx.emit_main;
+  stats.checkpoints <- stats.checkpoints + 1;
+  (* Metadata reset + dirty clear per worker. *)
+  List.iter
+    (fun (w : Worker.t) ->
+      let pages = Shadow.reset_interval w.w_st.machine in
+      let cost = pages * cm.c_reset_page in
+      w.w_clock <- w.w_clock + cost;
+      stats.cyc_checkpoint <- stats.cyc_checkpoint + cost;
+      Memory.clear_dirty w.w_st.machine.Machine.mem)
+    workers;
+  (* Workers merge their own contributions into the checkpoint object
+     (paper 5.2: per-checkpoint locks, no barrier); the per-page copy
+     cost is already on their clocks.  The checkpoint retires when the
+     last worker has added its state. *)
+  let serial_tail =
+    if ctx.serial_commit then cm.c_merge_page * m.Checkpoint.total_pages else 0
+  in
+  let checkpoint_done =
+    List.fold_left (fun acc (w : Worker.t) -> max acc w.w_clock) 0 workers
+    + cm.c_checkpoint_base + serial_tail
+  in
+  (* A serial commit stalls every worker behind the central process
+     (the STMLite bottleneck). *)
+  if ctx.serial_commit then
+    List.iter
+      (fun (w : Worker.t) -> w.w_clock <- max w.w_clock checkpoint_done)
+      workers;
+  checkpoint_done
+
+(* Final commit after the last interval: allocator state, live-out
+   frame scalars, join.  [last] ran the invocation's last iteration.
+   Returns the invocation's end time. *)
+let commit_final ctx (st : Interp.t) fr (spec : Manifest.loop_spec) workers
+    ~(last : Worker.t) ~checkpoint_done =
+  let cm = ctx.env.Worker.cm in
+  let stats = ctx.env.Worker.stats in
+  Machine.commit_allocators st.machine ~last:last.w_st.machine
+    ~all:(List.map (fun (w : Worker.t) -> w.w_st.machine) workers);
+  List.iter
+    (fun (name, cls) ->
+      match (cls : Scalars.scalar_class) with
+      | Private_reg -> (
+        match Hashtbl.find_opt last.w_frame.Interp.locals name with
+        | Some v -> Hashtbl.replace fr.Interp.locals name v
+        | None -> ())
+      | Induction | Live_in | Reduction_reg _ -> ())
+    spec.scalars;
+  let end_time = checkpoint_done + cm.c_join in
+  List.iter
+    (fun (w : Worker.t) ->
+      stats.cyc_join <- stats.cyc_join + max 0 (end_time - w.w_clock))
+    workers;
+  end_time

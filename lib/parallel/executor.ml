@@ -1,32 +1,36 @@
-(* The speculative DOALL executor (paper section 5).
+(* The speculative DOALL engine driver (paper section 5).
 
-   Intercepts a selected For loop and executes its iterations across
-   simulated worker processes.  Each worker owns a copy-on-write
-   snapshot of the main process (its page map), validates speculation
-   inline (separation by address tag, privacy via the shadow metadata
-   machine, short-lived lifetimes by allocation balance), contributes
-   its state to a checkpoint every k iterations, and the checkpoint
-   system performs phase-2 privacy validation, last-writer-wins
-   merging, reduction combination and in-order I/O commit.  On
-   misspeculation the main process recovers sequentially from the last
-   valid checkpoint and parallel execution resumes.
+   Intercepts a selected For loop and wires the engine's layers around
+   it: [Schedule] assigns iterations to simulated worker processes,
+   [Worker] executes them under inline validation, [Commit] collects
+   and merges checkpoint contributions and commits clean intervals,
+   and [Recovery] squashes and re-executes misspeculated intervals —
+   with an optional adaptive checkpoint period and a per-loop
+   misspeculation throttle that demotes chronically misspeculating
+   loops to sequential execution.
 
    Timing is simulated: workers accumulate cycle clocks (application
-   costs from the interpreter's table, runtime costs from
-   Cost_model), and the invocation's wall time is the checkpointed
-   maximum, charged back to the main interpreter's cycle counter. *)
+   costs from the interpreter's table, runtime costs from Cost_model),
+   and the invocation's wall time is the checkpointed maximum, charged
+   back to the main interpreter's cycle counter. *)
 
 open Privateer_ir
 open Privateer_machine
 open Privateer_interp
-open Privateer_profile
-open Privateer_analysis
 open Privateer_transform
 open Privateer_runtime
 
 type config = {
   workers : int;
+  schedule : Schedule.t; (* iteration-assignment policy *)
   checkpoint_period : int option; (* None: auto (aim ~6 per invocation) *)
+  adaptive_period : bool;
+      (* true: shrink the period after a misspeculated interval and
+         grow it back after clean ones (Recovery.period) *)
+  throttle : int option;
+      (* Some n: after n misspeculations in one invocation, demote the
+         loop to sequential execution and suspend speculation on it
+         for later invocations.  None: never demote. *)
   costs : Cost_model.t;
   inject : (int -> bool) option; (* injected misspeculation, by iteration *)
   validate : bool; (* false: disable all validation work (ablation) *)
@@ -38,368 +42,156 @@ type config = {
 }
 
 let default_config =
-  { workers = 4; checkpoint_period = None; costs = Cost_model.default; inject = None;
-    validate = true; serial_commit = false }
-
-(* Per-worker simulated process. *)
-type worker = {
-  w_id : int;
-  w_st : Interp.t;
-  w_frame : Interp.frame;
-  mutable w_clock : int; (* absolute simulated time *)
-  mutable w_cycles_mark : int; (* st.cycles at last sample *)
-  mutable w_beta : int;
-  mutable w_iter : int;
-  mutable w_sl_balance : int;
-  mutable w_instr : int; (* instrumentation cycles this iteration *)
-}
-
-exception Worker_misspec of int * Misspec.reason (* iteration, reason *)
+  { workers = 4; schedule = Schedule.Cyclic; checkpoint_period = None;
+    adaptive_period = false; throttle = None; costs = Cost_model.default;
+    inject = None; validate = true; serial_commit = false }
 
 type t = {
   manifest : Manifest.t;
   config : config;
   stats : Stats.t;
   mutable fallbacks : int; (* invocations run sequentially (failed preheader) *)
+  suspended : (Ast.node_id, unit) Hashtbl.t;
+      (* loops whose speculation the throttle has suspended *)
 }
 
+(* Reject configurations that would fail deep inside an invocation
+   ([workers = 0] used to surface as [Option.get] on an empty
+   contribution list). *)
+let validate_config config =
+  if config.workers <= 0 then
+    invalid_arg
+      (Printf.sprintf "Executor.create: workers must be > 0 (got %d)" config.workers);
+  (match config.checkpoint_period with
+  | Some k when k <= 0 ->
+    invalid_arg
+      (Printf.sprintf "Executor.create: checkpoint_period must be > 0 (got %d)" k)
+  | Some _ | None -> ());
+  (match config.throttle with
+  | Some n when n <= 0 ->
+    invalid_arg (Printf.sprintf "Executor.create: throttle must be > 0 (got %d)" n)
+  | Some _ | None -> ());
+  Schedule.validate config.schedule
+
 let create manifest config =
+  validate_config config;
   let stats = Stats.create () in
   stats.workers <- config.workers;
-  { manifest; config; stats; fallbacks = 0 }
+  { manifest; config; stats; fallbacks = 0; suspended = Hashtbl.create 4 }
 
-(* ---- worker hooks ---------------------------------------------------- *)
+let env t =
+  { Worker.cm = t.config.costs; stats = t.stats; manifest = t.manifest;
+    validate = t.config.validate; inject = t.config.inject }
 
-let charge_instr w n =
-  Interp.charge w.w_st n;
-  w.w_instr <- w.w_instr + n
+(* True once the throttle has demoted the loop: later invocations run
+   sequentially until something re-enables speculation. *)
+let loop_suspended t loop = Hashtbl.mem t.suspended loop
 
-let hooks t w : Hooks.t =
-  let cm = t.config.costs in
-  let stats = t.stats in
-  let separation_check id addr =
-    match Manifest.find_check t.manifest id with
-    | Some { expected = Some h; elided = false; _ } ->
-      charge_instr w cm.c_check_heap;
-      stats.separation_checks <- stats.separation_checks + 1;
-      if not (Heap.check addr h) then
-        raise (Misspec.Misspeculation (Misspec.Separation { site = id; addr; expected = h }))
-    | Some _ | None -> ()
-  in
-  let redux_ok id =
-    match Manifest.find_check t.manifest id with
-    | Some { redux_op = Some _; _ } -> true
-    | Some _ | None -> false
-  in
-  let on_access ~is_read id ~addr ~size =
-    separation_check id addr;
-    match Heap.heap_of_addr addr with
-    | Heap.Private ->
-      if is_read then begin
-        charge_instr w (cm.c_private_read * ((size + 7) / 8));
-        stats.private_bytes_read <- stats.private_bytes_read + size;
-        stats.cyc_private_read <- stats.cyc_private_read + cm.c_private_read;
-        Shadow.access w.w_st.machine Shadow.Read ~addr ~size ~beta:w.w_beta
-      end
-      else begin
-        charge_instr w (cm.c_private_write * ((size + 7) / 8));
-        stats.private_bytes_written <- stats.private_bytes_written + size;
-        stats.cyc_private_write <- stats.cyc_private_write + cm.c_private_write;
-        Shadow.access w.w_st.machine Shadow.Write ~addr ~size ~beta:w.w_beta
-      end
-    | Heap.Read_only ->
-      if not is_read then
-        raise (Misspec.Misspeculation (Misspec.Foreign_heap { addr }))
-    | Heap.Redux ->
-      if not (redux_ok id) then
-        raise (Misspec.Misspeculation (Misspec.Redux_violation { site = id; addr }))
-    | Heap.Short_lived | Heap.Stack -> ()
-    | Heap.Default | Heap.Unrestricted | Heap.Shadow ->
-      raise (Misspec.Misspeculation (Misspec.Foreign_heap { addr }))
-  in
-  if not t.config.validate then Hooks.default
-  else
-    { Hooks.default with
-      on_load = (fun id ~addr ~size ~value:_ -> on_access ~is_read:true id ~addr ~size);
-      on_store = (fun id ~addr ~size ~value:_ -> on_access ~is_read:false id ~addr ~size);
-      on_alloc =
-        (fun _ ~ctx:_ _ heap ~addr:_ ~size:_ ->
-          if Heap.equal_kind heap Heap.Short_lived then
-            w.w_sl_balance <- w.w_sl_balance + 1);
-      on_free =
-        (fun _ ~addr:_ ~size:_ heap ->
-          if Heap.equal_kind heap Heap.Short_lived then
-            w.w_sl_balance <- w.w_sl_balance - 1);
-      on_check_heap =
-        (fun id ~addr heap ~ok ->
-          if not ok then
-            raise (Misspec.Misspeculation (Misspec.Separation { site = id; addr; expected = heap })));
-      on_assert_value =
-        (fun id ~observed:_ ~expected ~ok ->
-          if not ok then
-            raise
-              (Misspec.Misspeculation
-                 (Misspec.Value_prediction
-                    { global = Printf.sprintf "<site %d>" id; offset = 0;
-                      expected })));
-      on_misspec =
-        (fun id ~reason:_ ->
-          raise (Misspec.Misspeculation (Misspec.Control { site = id }))) }
+let suspend_loop t loop = Hashtbl.replace t.suspended loop ()
 
-(* ---- value predictions ----------------------------------------------- *)
+(* Re-enable speculation on a suspended loop (the paper's §5.3
+   re-enable discipline; exposed for callers that know the workload
+   has shifted). *)
+let reenable_loop t loop = Hashtbl.remove t.suspended loop
 
-let prediction_addr (st : Interp.t) (p : Classify.prediction) =
-  Hashtbl.find st.globals p.pred_global + p.pred_offset
-
-(* Runtime-performed re-initialization of a predicted location at
-   iteration start (a sanctioned private write). *)
-let apply_predictions t w predictions =
-  let cm = t.config.costs in
-  List.iter
-    (fun (p : Classify.prediction) ->
-      let addr = prediction_addr w.w_st p in
-      charge_instr w (cm.c_prediction + cm.base.c_store + cm.c_private_write);
-      t.stats.private_bytes_written <- t.stats.private_bytes_written + 8;
-      t.stats.cyc_private_write <- t.stats.cyc_private_write + cm.c_private_write;
-      if t.config.validate then
-        Shadow.access w.w_st.machine Shadow.Write ~addr ~size:8 ~beta:w.w_beta;
-      Machine.set_int w.w_st.machine addr p.pred_value)
-    predictions
-
-(* End-of-iteration prediction validation (a sanctioned private read). *)
-let validate_predictions t w predictions =
-  let cm = t.config.costs in
-  List.iter
-    (fun (p : Classify.prediction) ->
-      let addr = prediction_addr w.w_st p in
-      charge_instr w (cm.c_prediction + cm.base.c_load + cm.c_private_read);
-      t.stats.private_bytes_read <- t.stats.private_bytes_read + 8;
-      t.stats.cyc_private_read <- t.stats.cyc_private_read + cm.c_private_read;
-      if t.config.validate then
-        Shadow.access w.w_st.machine Shadow.Read ~addr ~size:8 ~beta:w.w_beta;
-      let v = Machine.get_int w.w_st.machine addr in
-      if v <> p.pred_value then
-        raise
-          (Misspec.Misspeculation
-             (Misspec.Value_prediction
-                { global = p.pred_global; offset = p.pred_offset;
-                  expected = p.pred_value })))
-    predictions
-
-(* ---- invocation ------------------------------------------------------ *)
-
-(* Reduction registers of a loop spec. *)
-let reduction_regs (spec : Manifest.loop_spec) =
-  List.filter_map
-    (fun (name, cls) ->
-      match (cls : Scalars.scalar_class) with
-      | Reduction_reg op -> Some (name, op)
-      | Induction | Private_reg | Live_in -> None)
-    spec.scalars
-
-(* Redux heap ranges: (base address, byte size, operator). *)
-let redux_ranges (st : Interp.t) (spec : Manifest.loop_spec) =
-  Objname.Map.fold
-    (fun name op acc ->
-      match name with
-      | Objname.Global g -> (
-        match (Ast.find_global st.program g, Hashtbl.find_opt st.globals g) with
-        | Some gl, Some base -> (base, max 8 gl.gbytes, op) :: acc
-        | _ -> acc)
-      | Objname.Site _ | Objname.Unknown -> acc)
-    spec.assignment.redux_ops []
-
-(* Absolute values of the reduction words at (re)spawn time; worker
-   partials are folded over these at each checkpoint. *)
-let read_redux_base (st : Interp.t) ranges =
-  List.concat_map
-    (fun (base, size, _op) ->
-      List.init ((size + 7) / 8) (fun i ->
-          let addr = base + (8 * i) in
-          let bits, is_float = Machine.read_word st.machine addr in
-          (addr, Value.of_bits bits is_float)))
-    ranges
-
-let write_value_word machine addr (v : Value.t) =
-  let bits, is_float = Value.to_bits v in
-  Machine.write_word machine addr bits is_float
-
-let spawn_workers t (st : Interp.t) fr spec ranges n_workers ~now =
-  let cm = t.config.costs in
-  List.init n_workers (fun i ->
-      let wst = Interp.fork st in
-      let frame = Interp.copy_frame fr in
-      (* Reduction registers restart from the operator's identity. *)
-      List.iter
-        (fun (name, op) ->
-          Hashtbl.replace frame.Interp.locals name (Reduction.identity_value op))
-        (reduction_regs spec);
-      (* The reduction heap is replaced by identity-initialized pages
-         (paper 3.2). *)
-      List.iter
-        (fun (base, size, op) ->
-          let bits, is_float = Reduction.identity_bits op in
-          for wd = 0 to ((size + 7) / 8) - 1 do
-            Machine.write_word wst.machine (base + (8 * wd)) bits is_float
-          done)
-        ranges;
-      Memory.clear_dirty wst.machine.Machine.mem;
-      let w =
-        { w_id = i; w_st = wst; w_frame = frame; w_clock = now + ((i + 1) * cm.c_fork);
-          w_cycles_mark = wst.cycles; w_beta = 0; w_iter = 0; w_sl_balance = 0;
-          w_instr = 0 }
-      in
-      t.stats.cyc_spawn <- t.stats.cyc_spawn + ((i + 1) * cm.c_fork);
-      wst.hooks <- hooks t w;
-      w)
-
-(* Execute one iteration on a worker.  Raises Worker_misspec. *)
-let exec_iteration t w ~var ~init_value ~iter ~interval_start ~body ~predictions ~io =
-  w.w_iter <- iter;
-  w.w_beta <- Shadow.timestamp ~iter ~interval_start;
-  w.w_sl_balance <- 0;
-  w.w_instr <- 0;
-  let cycles_before = w.w_st.cycles in
-  w.w_st.emit <- (fun s -> Deferred_io.emit io ~iter s);
-  (try
-     apply_predictions t w predictions;
-     Hashtbl.replace w.w_frame.Interp.locals var (Value.VInt (init_value + iter));
-     Interp.exec_block w.w_st w.w_frame body;
-     validate_predictions t w predictions;
-     if t.config.validate && w.w_sl_balance <> 0 then
-       raise
-         (Misspec.Misspeculation (Misspec.Short_lived_escape { unfreed = w.w_sl_balance }));
-     match t.config.inject with
-     | Some f when f iter -> raise (Misspec.Misspeculation Misspec.Injected)
-     | Some _ | None -> ()
-   with
-  | Misspec.Misspeculation r ->
-    let delta = w.w_st.cycles - cycles_before in
-    w.w_clock <- w.w_clock + delta;
-    raise (Worker_misspec (iter, r))
-  | Interp.Runtime_error msg ->
-    let delta = w.w_st.cycles - cycles_before in
-    w.w_clock <- w.w_clock + delta;
-    raise (Worker_misspec (iter, Misspec.Worker_fault msg)));
-  let delta = w.w_st.cycles - cycles_before in
-  w.w_clock <- w.w_clock + delta;
-  t.stats.cyc_useful <- t.stats.cyc_useful + (delta - w.w_instr);
-  t.stats.iterations <- t.stats.iterations + 1
-
-(* ---- main invocation driver ----------------------------------------- *)
+(* ---- main invocation driver ------------------------------------------ *)
 
 let auto_period n = max 1 (min Shadow.max_interval ((n + 5) / 6))
 
-(* Sequential (non-speculative) execution of iterations [lo, hi] on
-   the main process: recovery (paper 5.3) and preheader fallback. *)
-let run_sequentially (st : Interp.t) fr ~var ~init_value ~body ~lo ~hi =
-  let saved_hooks = st.hooks in
-  st.hooks <- Hooks.default;
-  let c0 = st.cycles in
-  for iter = lo to hi do
-    Hashtbl.replace fr.Interp.locals var (Value.VInt (init_value + iter));
-    Interp.exec_block st fr body
-  done;
-  st.hooks <- saved_hooks;
-  st.cycles - c0
-
 let run_invocation t (st : Interp.t) fr (spec : Manifest.loop_spec) ~var ~init_value
     ~n ~body =
-  let cm = t.config.costs in
+  let env = env t in
   let stats = t.stats in
+  let ls = Stats.loop_stats stats spec.loop in
   stats.invocations <- stats.invocations + 1;
+  ls.l_invocations <- ls.l_invocations + 1;
   let predictions = spec.predictions in
-  let ranges = redux_ranges st spec in
-  let reg_ops = reduction_regs spec in
-  let io = Deferred_io.create () in
-  let emit_main = st.emit in
-  (* Preheader: live-in values must match the predictions, otherwise
-     fall back to sequential, non-speculative execution. *)
-  let preheader_ok =
+  let finish_induction () =
+    (* Induction variable's final value, as after a sequential For. *)
+    Hashtbl.replace fr.Interp.locals var (Value.VInt (init_value + n))
+  in
+  let preheader_ok () =
     List.for_all
-      (fun (p : Classify.prediction) ->
-        Machine.get_int st.machine (prediction_addr st p) = p.pred_value)
+      (fun (p : Privateer_analysis.Classify.prediction) ->
+        Machine.get_int st.machine (Worker.prediction_addr st p) = p.pred_value)
       predictions
   in
-  if not preheader_ok then begin
+  if loop_suspended t spec.loop then begin
+    (* The throttle suspended this loop: non-speculative execution. *)
+    ls.l_suspended_invocations <- ls.l_suspended_invocations + 1;
+    ignore (Recovery.run_sequentially st fr ~var ~init_value ~body ~lo:0 ~hi:(n - 1));
+    finish_induction ()
+  end
+  else if not (preheader_ok ()) then begin
+    (* Preheader: live-in values must match the predictions, otherwise
+       fall back to sequential, non-speculative execution. *)
     t.fallbacks <- t.fallbacks + 1;
-    let cycles = run_sequentially st fr ~var ~init_value ~body ~lo:0 ~hi:(n - 1) in
-    ignore cycles
+    ignore (Recovery.run_sequentially st fr ~var ~init_value ~body ~lo:0 ~hi:(n - 1));
+    finish_induction ()
   end
   else begin
-    let k = match t.config.checkpoint_period with Some k -> k | None -> auto_period n in
-    let k = max 1 (min Shadow.max_interval k) in
+    let k =
+      match t.config.checkpoint_period with Some k -> k | None -> auto_period n
+    in
+    let period = Recovery.make_period ~adaptive:t.config.adaptive_period k in
+    let throttle = Recovery.make_throttle t.config.throttle in
     let timeline = ref 0 in
     let c_start = st.cycles in
-    let predictions_hold () =
-      List.for_all
-        (fun (p : Classify.prediction) ->
-          Machine.get_int st.machine (prediction_addr st p) = p.pred_value)
-        predictions
-    in
-    (* Reduction bases: absolute values at (re)spawn time. *)
+    let io = Deferred_io.create () in
+    let emit_main = st.emit in
+    let nw = t.config.workers in
     let rec parallel_from start_iter =
       if start_iter >= n then ()
-      else if not (predictions_hold ()) then begin
+      else if Recovery.should_demote throttle then begin
+        (* Demotion: the invocation burned its misspeculation budget.
+           Finish sequentially and suspend the loop. *)
+        ls.l_demotions <- ls.l_demotions + 1;
+        suspend_loop t spec.loop;
+        let cycles =
+          Recovery.run_sequentially st fr ~var ~init_value ~body ~lo:start_iter
+            ~hi:(n - 1)
+        in
+        timeline := !timeline + cycles
+      end
+      else if not (preheader_ok ()) then begin
         (* The recovered (or entry) state contradicts the value
            predictions: speculation cannot resume yet.  Execute one
            iteration non-speculatively and try again — the prediction
            typically re-establishes itself (e.g. the queue drains). *)
-        let rec_cycles =
-          run_sequentially st fr ~var ~init_value ~body ~lo:start_iter ~hi:start_iter
-        in
-        stats.recovered_iterations <- stats.recovered_iterations + 1;
-        stats.cyc_recovery <- stats.cyc_recovery + rec_cycles;
-        timeline := !timeline + rec_cycles;
+        timeline :=
+          !timeline
+          + Recovery.reestablish_step env st fr ~var ~init_value ~body
+              ~iter:start_iter;
         parallel_from (start_iter + 1)
       end
       else begin
-        let nw = t.config.workers in
-        let workers = spawn_workers t st fr spec ranges nw ~now:!timeline in
-        let redux_base = read_redux_base st ranges in
-        let reg_base =
-          List.map (fun (name, _) -> (name, Hashtbl.find fr.Interp.locals name)) reg_ops
+        let ctx = Commit.make_ctx env st fr spec ~io ~emit_main
+            ~serial_commit:t.config.serial_commit
         in
-        let assigned w_id iter = (iter - start_iter) mod nw = w_id in
+        let workers = Worker.spawn env st fr spec ctx.Commit.ranges nw ~now:!timeline in
         let rec interval_loop i0 =
-          let hi = min n (i0 + k) in
+          let hi = min n (i0 + Recovery.current_period period) in
+          let owner =
+            Schedule.owner t.config.schedule ~workers:nw ~spawn_start:start_iter
+              ~lo:i0 ~hi
+          in
           (* Execute every worker's iterations of [i0, hi). *)
           let misspecs = ref [] in
           List.iter
-            (fun w ->
+            (fun (w : Worker.t) ->
               try
                 for iter = i0 to hi - 1 do
-                  if assigned w.w_id iter then
-                    exec_iteration t w ~var ~init_value ~iter ~interval_start:i0 ~body
-                      ~predictions ~io
+                  if owner iter = w.Worker.w_id then
+                    Worker.exec_iteration env w ~var ~init_value ~iter
+                      ~interval_start:i0 ~body ~predictions ~io
                 done
-              with Worker_misspec (iter, reason) ->
+              with Worker.Worker_misspec (iter, reason) ->
                 misspecs := (iter, reason) :: !misspecs)
             workers;
           (* Contributions and phase-2 validation. *)
           let contributions =
             if !misspecs <> [] then []
-            else
-              List.map
-                (fun w ->
-                  let reg_partials =
-                    List.map
-                      (fun (name, _) ->
-                        (name, Hashtbl.find w.w_frame.Interp.locals name))
-                      reg_ops
-                  in
-                  let c =
-                    Checkpoint.contribution_of_worker ~worker:w.w_id
-                      ~interval_start:i0 w.w_st.machine ~redux_ranges:ranges
-                      ~reg_partials
-                  in
-                  let copy_cost =
-                    cm.c_checkpoint_base + (c.Checkpoint.pages_touched * cm.c_checkpoint_page)
-                  in
-                  w.w_clock <- w.w_clock + copy_cost;
-                  stats.cyc_checkpoint <- stats.cyc_checkpoint + copy_cost;
-                  c)
-                workers
+            else Commit.collect ctx workers ~interval_start:i0
           in
           let merged =
             if contributions = [] then None else Some (Checkpoint.merge contributions)
@@ -423,83 +215,31 @@ let run_invocation t (st : Interp.t) fr (spec : Manifest.loop_spec) ~var ~init_v
           in
           match violation with
           | Some (miss_iter, _reason) ->
-            (* Recovery (paper 5.3): squash, restore to the last valid
-               checkpoint (the main state already holds it), re-execute
-               sequentially through the misspeculated iteration. *)
-            stats.misspeculations <- stats.misspeculations + 1;
-            timeline := List.fold_left (fun acc w -> max acc w.w_clock) !timeline workers;
-            Deferred_io.discard_from io ~from:i0;
-            st.emit <- emit_main;
-            let rec_cycles =
-              run_sequentially st fr ~var ~init_value ~body ~lo:i0 ~hi:miss_iter
-            in
-            stats.recovered_iterations <- stats.recovered_iterations + (miss_iter - i0 + 1);
-            stats.cyc_recovery <- stats.cyc_recovery + rec_cycles;
-            timeline := !timeline + rec_cycles;
+            Recovery.period_on_misspec period;
+            Recovery.throttle_note_misspec throttle;
+            ls.l_misspeculations <- ls.l_misspeculations + 1;
+            timeline :=
+              List.fold_left
+                (fun acc (w : Worker.t) -> max acc w.w_clock)
+                !timeline workers;
+            timeline :=
+              !timeline
+              + Recovery.recover env st fr ~var ~init_value ~body ~io ~emit_main
+                  ~interval_start:i0 ~miss_iter;
             parallel_from (miss_iter + 1)
           | None ->
+            Recovery.period_on_clean period;
             let m = Option.get merged in
-            (* Commit: overlay private bytes, absolute reduction values,
-               deferred output, then advance. *)
-            Checkpoint.apply_overlay st.machine m;
-            List.iter
-              (fun (addr, v) -> write_value_word st.machine addr v)
-              (Checkpoint.merge_redux ~redux_ranges:ranges ~base:redux_base
-                 m.Checkpoint.contributions);
-            List.iter
-              (fun (name, v) -> Hashtbl.replace fr.Interp.locals name v)
-              (Checkpoint.merge_reg_partials ~ops:reg_ops ~base:reg_base
-                 m.Checkpoint.contributions);
-            Deferred_io.commit_range io ~lo:i0 ~hi ~sink:emit_main;
-            stats.checkpoints <- stats.checkpoints + 1;
-            (* Metadata reset + dirty clear per worker. *)
-            List.iter
-              (fun w ->
-                let pages = Shadow.reset_interval w.w_st.machine in
-                let cost = pages * cm.c_reset_page in
-                w.w_clock <- w.w_clock + cost;
-                stats.cyc_checkpoint <- stats.cyc_checkpoint + cost;
-                Memory.clear_dirty w.w_st.machine.Machine.mem)
-              workers;
-            (* Workers merge their own contributions into the
-               checkpoint object (paper 5.2: per-checkpoint locks, no
-               barrier); the per-page copy cost is already on their
-               clocks.  The checkpoint retires when the last worker
-               has added its state. *)
-            let serial_tail =
-              if t.config.serial_commit then cm.c_merge_page * m.Checkpoint.total_pages
-              else 0
-            in
-            let checkpoint_done =
-              List.fold_left (fun acc w -> max acc w.w_clock) 0 workers
-              + cm.c_checkpoint_base + serial_tail
-            in
-            (* A serial commit stalls every worker behind the central
-               process (the STMLite bottleneck). *)
-            if t.config.serial_commit then
-              List.iter (fun w -> w.w_clock <- max w.w_clock checkpoint_done) workers;
+            let checkpoint_done = Commit.commit_interval ctx st fr workers m ~lo:i0 ~hi in
             if hi >= n then begin
               (* Final commit: allocator state, frame scalars, join. *)
               let last_iter = n - 1 in
-              let last_w =
-                List.find (fun w -> assigned w.w_id last_iter) workers
+              let last =
+                List.find (fun (w : Worker.t) -> owner last_iter = w.Worker.w_id) workers
               in
-              Machine.commit_allocators st.machine ~last:last_w.w_st.machine
-                ~all:(List.map (fun w -> w.w_st.machine) workers);
-              List.iter
-                (fun (name, cls) ->
-                  match (cls : Scalars.scalar_class) with
-                  | Private_reg -> (
-                    match Hashtbl.find_opt last_w.w_frame.Interp.locals name with
-                    | Some v -> Hashtbl.replace fr.Interp.locals name v
-                    | None -> ())
-                  | Induction | Live_in | Reduction_reg _ -> ())
-                spec.scalars;
-              let end_time = checkpoint_done + cm.c_join in
-              List.iter
-                (fun w ->
-                  stats.cyc_join <- stats.cyc_join + max 0 (end_time - w.w_clock))
-                workers;
+              let end_time =
+                Commit.commit_final ctx st fr spec workers ~last ~checkpoint_done
+              in
               timeline := max !timeline end_time
             end
             else interval_loop hi
@@ -508,10 +248,10 @@ let run_invocation t (st : Interp.t) fr (spec : Manifest.loop_spec) ~var ~init_v
       end
     in
     parallel_from 0;
-    (* Induction variable's final value, as after a sequential For. *)
-    Hashtbl.replace fr.Interp.locals var (Value.VInt (init_value + n));
+    finish_induction ();
     st.emit <- emit_main;
     stats.wall_cycles <- stats.wall_cycles + !timeline;
+    ls.l_wall_cycles <- ls.l_wall_cycles + !timeline;
     (* Charge the invocation's wall time to the main process clock. *)
     st.cycles <- c_start + !timeline
   end

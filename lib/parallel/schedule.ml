@@ -1,0 +1,53 @@
+(* Iteration-assignment policies for the speculative DOALL engine.
+
+   A schedule decides which worker owns each iteration of a checkpoint
+   interval.  It is a pure function of the interval bounds and the
+   spawn point, so the committed state stays schedule-independent: the
+   checkpoint merge is last-writer-wins by *iteration number*, the
+   deferred-I/O commit is iteration-ordered, and privacy validation
+   catches genuine cross-iteration flow under any assignment (within a
+   worker by the Table 2 timestamps, across workers by phase-2
+   live-in/write conflicts).  Only the simulated wall clock — load
+   balance, per-worker dirty-page footprints — differs by policy. *)
+
+type t =
+  | Cyclic  (** worker [w] owns iterations [w], [w+W], ... of a spawn (round-robin) *)
+  | Blocked  (** each interval is split into [W] contiguous blocks *)
+  | Chunked of int  (** round-robin over contiguous chunks of the given size *)
+
+let to_string = function
+  | Cyclic -> "cyclic"
+  | Blocked -> "blocked"
+  | Chunked c -> Printf.sprintf "chunked:%d" c
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "cyclic" -> Some Cyclic
+  | "blocked" -> Some Blocked
+  | s -> (
+    match String.split_on_char ':' s with
+    | [ "chunked"; n ] -> (
+      match int_of_string_opt n with Some c when c > 0 -> Some (Chunked c) | _ -> None)
+    | _ -> None)
+
+(* Raises on nonsensical policies; called from [Executor.create]. *)
+let validate = function
+  | Cyclic | Blocked -> ()
+  | Chunked c ->
+    if c <= 0 then
+      invalid_arg (Printf.sprintf "Schedule.Chunked: chunk size must be > 0 (got %d)" c)
+
+(* The worker owning [iter].  [spawn_start] is the first iteration of
+   the current worker cohort (constant across that cohort's
+   intervals); [lo, hi) is the current checkpoint interval.  Every
+   iteration of the interval is owned by exactly one worker id in
+   [0, workers). *)
+let owner t ~workers ~spawn_start ~lo ~hi iter =
+  match t with
+  | Cyclic -> (iter - spawn_start) mod workers
+  | Blocked ->
+    let len = hi - lo in
+    let block = (len + workers - 1) / workers in
+    (* block >= 1 whenever len >= 1, and (len-1)/block <= workers-1. *)
+    min (workers - 1) ((iter - lo) / max 1 block)
+  | Chunked c -> (iter - lo) / c mod workers

@@ -1,6 +1,16 @@
 (* Runtime statistics: the counters behind the paper's Table 3 and the
    Figure 8 overhead breakdown. *)
 
+(* Per-loop runtime health, keyed by the loop's IR node id.  Feeds the
+   throttle's suspension decision and the CLI/bench per-loop report. *)
+type loop_stats = {
+  mutable l_invocations : int;
+  mutable l_misspeculations : int;
+  mutable l_wall_cycles : int; (* wall time of this loop's parallel invocations *)
+  mutable l_demotions : int; (* invocations demoted mid-flight by the throttle *)
+  mutable l_suspended_invocations : int; (* invocations run sequentially while suspended *)
+}
+
 type t = {
   mutable invocations : int;
   mutable checkpoints : int;
@@ -22,6 +32,7 @@ type t = {
   (* Wall-clock (simulated cycles) of all parallel invocations. *)
   mutable wall_cycles : int;
   mutable workers : int;
+  loops : (int, loop_stats) Hashtbl.t;
 }
 
 let create () =
@@ -29,7 +40,24 @@ let create () =
     private_bytes_written = 0; separation_checks = 0; separation_checks_elided = 0;
     misspeculations = 0; recovered_iterations = 0; iterations = 0; cyc_useful = 0;
     cyc_private_read = 0; cyc_private_write = 0; cyc_checkpoint = 0; cyc_spawn = 0;
-    cyc_join = 0; cyc_recovery = 0; wall_cycles = 0; workers = 0 }
+    cyc_join = 0; cyc_recovery = 0; wall_cycles = 0; workers = 0;
+    loops = Hashtbl.create 4 }
+
+let loop_stats t loop =
+  match Hashtbl.find_opt t.loops loop with
+  | Some ls -> ls
+  | None ->
+    let ls =
+      { l_invocations = 0; l_misspeculations = 0; l_wall_cycles = 0; l_demotions = 0;
+        l_suspended_invocations = 0 }
+    in
+    Hashtbl.replace t.loops loop ls;
+    ls
+
+let loop_table t =
+  List.sort
+    (fun (a, _) (b, _) -> compare a b)
+    (Hashtbl.fold (fun loop ls acc -> (loop, ls) :: acc) t.loops [])
 
 (* Total capacity of the parallel region: cores x duration, the
    denominator of the paper's Figure 8 normalization. *)

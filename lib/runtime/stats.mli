@@ -1,6 +1,17 @@
 (** Runtime statistics: the counters behind the paper's Table 3 and
     the Figure 8 overhead breakdown. *)
 
+(** Per-loop runtime health, keyed by the loop's IR node id; the
+    executor's misspeculation throttle and the CLI/bench per-loop
+    reports read this table. *)
+type loop_stats = {
+  mutable l_invocations : int;
+  mutable l_misspeculations : int;
+  mutable l_wall_cycles : int; (* wall time of this loop's parallel invocations *)
+  mutable l_demotions : int; (* invocations demoted mid-flight by the throttle *)
+  mutable l_suspended_invocations : int; (* invocations run sequentially while suspended *)
+}
+
 type t = {
   mutable invocations : int;
   mutable checkpoints : int;
@@ -21,9 +32,16 @@ type t = {
   mutable cyc_recovery : int;
   mutable wall_cycles : int; (* sum over parallel invocations *)
   mutable workers : int;
+  loops : (int, loop_stats) Hashtbl.t;
 }
 
 val create : unit -> t
+
+(** The per-loop entry for an IR loop id, created on first use. *)
+val loop_stats : t -> int -> loop_stats
+
+(** All per-loop entries, sorted by loop id. *)
+val loop_table : t -> (int * loop_stats) list
 
 (** Parallel-region capacity: [workers * wall_cycles], the
     denominator of the paper's Figure 8 normalization. *)

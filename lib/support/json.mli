@@ -1,0 +1,15 @@
+(** Minimal JSON assembly for machine-readable reports (CLI [--json],
+    bench output).  Emission only; nothing in the system parses
+    JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact (single-line) rendering with escaped strings. *)
+val to_string : t -> string

@@ -10,16 +10,26 @@ let check_int = Alcotest.(check int)
 
 let compile src = Pipeline.compile (Pipeline.parse src)
 
-let config ?(workers = 4) ?checkpoint_period ?inject () =
-  { Privateer_parallel.Executor.default_config with workers; checkpoint_period; inject }
+let config ?(workers = 4) ?checkpoint_period ?inject ?(schedule = Privateer_parallel.Schedule.Cyclic)
+    ?(adaptive = false) ?throttle ?(serial_commit = false) () =
+  { Privateer_parallel.Executor.default_config with
+    workers; checkpoint_period; inject; schedule; adaptive_period = adaptive;
+    throttle; serial_commit }
 
 (* Run both versions; assert byte-identical output and equal result. *)
-let assert_equivalent ?workers ?checkpoint_period ?inject src =
+let assert_equivalent ?workers ?checkpoint_period ?inject ?schedule ?adaptive
+    ?throttle ?serial_commit src =
   let program = Pipeline.parse src in
   let tr, _ = Pipeline.compile program in
   check "a loop was planned" true (tr.selection.plans <> []);
   let seq = Pipeline.run_sequential program in
-  let par = Pipeline.run_parallel ~config:(config ?workers ?checkpoint_period ?inject ()) tr in
+  let par =
+    Pipeline.run_parallel
+      ~config:
+        (config ?workers ?checkpoint_period ?inject ?schedule ?adaptive ?throttle
+           ?serial_commit ())
+      tr
+  in
   Alcotest.(check string) "outputs equal" seq.seq_output par.par_output;
   check "results equal" true
     (Privateer_interp.Value.equal seq.seq_result par.par_result);
@@ -312,6 +322,280 @@ fn main() {
     let par = Pipeline.run_parallel ~config:(config ()) tr in
     check "equivalent" true (String.equal seq.seq_output par.par_output)
 
+(* ---- schedule policies ------------------------------------------------ *)
+
+let all_schedules =
+  [ Privateer_parallel.Schedule.Cyclic; Privateer_parallel.Schedule.Blocked;
+    Privateer_parallel.Schedule.Chunked 1; Privateer_parallel.Schedule.Chunked 3;
+    Privateer_parallel.Schedule.Chunked 16 ]
+
+let test_schedule_equivalence () =
+  (* The committed state must be schedule-independent: every policy
+     reproduces the sequential run on every source shape. *)
+  List.iter
+    (fun schedule ->
+      ignore (assert_equivalent ~schedule private_src);
+      ignore (assert_equivalent ~schedule ~workers:7 heavy_src);
+      ignore
+        (assert_equivalent ~schedule
+           {|global total; global data[64];
+fn main() {
+  for (j = 0; j < 64) { data[j] = j * 3; }
+  total = 0;
+  for (i = 0; i < 64) { total = total + data[i]; }
+  print("%d\n", total);
+  return total;
+}|}))
+    all_schedules
+
+let test_schedule_equivalence_under_misspec () =
+  List.iter
+    (fun schedule ->
+      let inject iter = iter mod 13 = 12 in
+      let _, par = assert_equivalent ~schedule ~inject private_src in
+      check "misspeculations occurred" true (par.stats.misspeculations > 0))
+    all_schedules
+
+let test_schedule_io_order () =
+  (* Deferred output must commit in iteration order under every
+     assignment policy. *)
+  let src =
+    {|global scratch[4];
+fn main() {
+  for (k = 0; k < 37) {
+    scratch[0] = k * 3;
+    print("iter %d -> %d\n", k, scratch[0]);
+  }
+  return 0;
+}|}
+  in
+  List.iter (fun schedule -> ignore (assert_equivalent ~schedule src)) all_schedules
+
+let test_schedule_of_string () =
+  let open Privateer_parallel.Schedule in
+  List.iter
+    (fun s -> Alcotest.(check (option string)) "round-trip" (Some (to_string s))
+        (Option.map to_string (of_string (to_string s))))
+    all_schedules;
+  check "bad policy rejected" true (of_string "zigzag" = None);
+  check "bad chunk rejected" true (of_string "chunked:0" = None)
+
+(* ---- config validation ------------------------------------------------ *)
+
+let test_config_validation () =
+  let tr, _ = compile private_src in
+  let raises cfg =
+    match Privateer_parallel.Executor.create tr.manifest cfg with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check "workers = 0 rejected" true (raises (config ~workers:0 ()));
+  check "workers < 0 rejected" true (raises (config ~workers:(-3) ()));
+  check "checkpoint_period = 0 rejected" true (raises (config ~checkpoint_period:0 ()));
+  check "checkpoint_period < 0 rejected" true
+    (raises (config ~checkpoint_period:(-1) ()));
+  check "throttle = 0 rejected" true (raises (config ~throttle:0 ()));
+  check "chunk size 0 rejected" true
+    (raises (config ~schedule:(Privateer_parallel.Schedule.Chunked 0) ()));
+  check "valid config accepted" false (raises (config ()))
+
+(* ---- recovery edge cases ---------------------------------------------- *)
+
+let test_misspec_on_iteration_zero () =
+  (* Misspeculation on the very first iteration: recovery re-executes
+     exactly iteration 0 and speculation resumes at 1. *)
+  let inject iter = iter = 0 in
+  let _, par = assert_equivalent ~checkpoint_period:10 ~inject private_src in
+  check_int "one misspeculation" 1 par.stats.misspeculations;
+  check_int "exactly iteration 0 recovered" 1 par.stats.recovered_iterations
+
+let test_misspec_on_interval_last_iteration () =
+  (* Misspeculation on an interval's last iteration squashes and
+     re-executes the whole interval: k iterations. *)
+  let k = 10 in
+  let inject iter = iter = k - 1 in
+  let _, par = assert_equivalent ~checkpoint_period:k ~inject private_src in
+  check_int "one misspeculation" 1 par.stats.misspeculations;
+  check_int "the whole interval recovered" k par.stats.recovered_iterations
+
+let test_misspec_on_loop_last_iteration () =
+  (* private_src has 100 iterations; with k=10 the last interval is
+     [90, 100) and a misspec at 99 recovers all 10 of them. *)
+  let inject iter = iter = 99 in
+  let _, par = assert_equivalent ~checkpoint_period:10 ~inject private_src in
+  check_int "one misspeculation" 1 par.stats.misspeculations;
+  check_int "last interval recovered" 10 par.stats.recovered_iterations
+
+let test_misspec_under_serial_commit () =
+  List.iter
+    (fun inject_every ->
+      let inject iter = iter mod inject_every = inject_every - 1 in
+      let _, par =
+        assert_equivalent ~serial_commit:true ~checkpoint_period:10 ~inject private_src
+      in
+      check "misspeculations occurred" true (par.stats.misspeculations > 0))
+    [ 10; 25 ];
+  (* Injection at interval boundaries under serial commit, with I/O. *)
+  let src =
+    {|global scratch[4];
+fn main() {
+  for (k = 0; k < 40) {
+    scratch[0] = k;
+    print("k=%d\n", k);
+  }
+  return 0;
+}|}
+  in
+  let inject iter = iter = 9 || iter = 10 in
+  ignore (assert_equivalent ~serial_commit:true ~checkpoint_period:10 ~inject src)
+
+(* ---- adaptive checkpoint period --------------------------------------- *)
+
+let test_adaptive_period_equivalence () =
+  List.iter
+    (fun inject_every ->
+      let inject iter = iter mod inject_every = inject_every - 1 in
+      ignore (assert_equivalent ~adaptive:true ~inject private_src))
+    [ 5; 10; 33 ]
+
+let test_adaptive_period_clean_run_identical () =
+  (* Without misspeculation the adaptive controller never moves, so
+     the run is cycle-identical to the fixed-period one. *)
+  let _, fixed = assert_equivalent private_src in
+  let _, adaptive = assert_equivalent ~adaptive:true private_src in
+  check_int "same wall cycles" fixed.stats.wall_cycles adaptive.stats.wall_cycles;
+  check_int "same checkpoints" fixed.stats.checkpoints adaptive.stats.checkpoints
+
+let test_adaptive_period_cuts_recovery () =
+  (* Under clustered misspeculation the shrunken intervals bound each
+     recovery's sequential re-execution: checkpoint + recovery cycles
+     must drop versus the fixed period at equal output.  heavy_src has
+     iterations expensive enough that re-execution dominates the extra
+     checkpoints the shorter intervals cost. *)
+  let inject iter = iter mod 8 = 7 in
+  let _, fixed = assert_equivalent ~checkpoint_period:32 ~inject heavy_src in
+  let _, adaptive =
+    assert_equivalent ~checkpoint_period:32 ~adaptive:true ~inject heavy_src
+  in
+  let cost (p : Pipeline.par_run) = p.stats.cyc_checkpoint + p.stats.cyc_recovery in
+  check "misspecs in both" true
+    (fixed.stats.misspeculations > 0 && adaptive.stats.misspeculations > 0);
+  check
+    (Printf.sprintf "adaptive %d < fixed %d" (cost adaptive) (cost fixed))
+    true
+    (cost adaptive < cost fixed)
+
+(* ---- misspeculation throttle ------------------------------------------ *)
+
+let throttle_src =
+  (* The selected loop lives in [work]; main invokes it three times,
+     so suspension must carry across invocations. *)
+  {|global scratch[16]; global out[100];
+fn work() {
+  for (k = 0; k < 100) {
+    for (i = 0; i < 16) { scratch[i] = k * i; }
+    var s = 0;
+    for (j = 0; j < 16) { s = s + scratch[j]; }
+    out[k] = out[k] + s;
+  }
+}
+fn main() {
+  work();
+  work();
+  work();
+  var total = 0;
+  for (q = 0; q < 100) { total = total + out[q]; }
+  print("total %d\n", total);
+  return total;
+}|}
+
+let test_throttle_demotes_and_suspends () =
+  let inject iter = iter mod 5 = 4 in
+  let _, par = assert_equivalent ~throttle:3 ~inject throttle_src in
+  check_int "three invocations" 3 par.stats.invocations;
+  (* The throttle caps the first invocation at 3 misspeculations and
+     the suspension silences the other two invocations entirely. *)
+  check_int "misspeculations capped by the throttle" 3 par.stats.misspeculations;
+  match Pipeline.loop_report par with
+  | [ (_, ls) ] ->
+    check_int "demoted once" 1 ls.l_demotions;
+    check_int "two suspended invocations" 2 ls.l_suspended_invocations;
+    check_int "per-loop invocations" 3 ls.l_invocations;
+    check_int "per-loop misspecs" 3 ls.l_misspeculations
+  | other ->
+    Alcotest.failf "expected exactly one loop entry, got %d" (List.length other)
+
+let test_throttle_off_keeps_speculating () =
+  let inject iter = iter mod 5 = 4 in
+  let _, par = assert_equivalent ~inject throttle_src in
+  check "far more misspeculations without the throttle" true
+    (par.stats.misspeculations > 3);
+  List.iter
+    (fun (_, (ls : Privateer_runtime.Stats.loop_stats)) ->
+      check_int "no demotions" 0 ls.l_demotions;
+      check_int "no suspensions" 0 ls.l_suspended_invocations)
+    (Pipeline.loop_report par)
+
+let test_reenable_loop () =
+  (* After re-enabling, the loop speculates again. *)
+  let program = Pipeline.parse throttle_src in
+  let tr, _ = Pipeline.compile program in
+  let inject iter = iter mod 5 = 4 in
+  let cfg = config ~throttle:2 ~inject () in
+  let st = Privateer_interp.Interp.create ~cost:cfg.costs.base tr.program in
+  let ex = Privateer_parallel.Executor.create tr.manifest cfg in
+  Privateer_parallel.Executor.install ex st;
+  ignore (Privateer_interp.Interp.run_entry st);
+  let loop, ls =
+    match Privateer_runtime.Stats.loop_table ex.stats with
+    | [ (loop, ls) ] -> (loop, ls)
+    | _ -> Alcotest.fail "expected one loop"
+  in
+  check "suspended after the run" true (ls.l_suspended_invocations > 0);
+  Privateer_parallel.Executor.reenable_loop ex loop;
+  let st2 = Privateer_interp.Interp.create ~cost:cfg.costs.base tr.program in
+  Privateer_parallel.Executor.install ex st2;
+  ignore (Privateer_interp.Interp.run_entry st2);
+  check "speculated again after re-enable" true
+    (ls.l_demotions >= 2 || ls.l_misspeculations >= 4)
+
+(* ---- per-loop stats table --------------------------------------------- *)
+
+let test_loop_report_totals () =
+  let _, par = assert_equivalent ~workers:8 private_src in
+  let report = Pipeline.loop_report par in
+  check "one selected loop" true (List.length report = 1);
+  let _, ls = List.hd report in
+  check_int "loop invocations = global" par.stats.invocations ls.l_invocations;
+  check_int "loop wall cycles = global" par.stats.wall_cycles ls.l_wall_cycles;
+  check_int "no demotions on a clean run" 0 ls.l_demotions
+
+(* ---- preheader fallback induction variable ---------------------------- *)
+
+let test_fallback_induction_final_value () =
+  (* A failed preheader must still leave the induction variable at its
+     sequential final value. *)
+  let src =
+    {|global flag; global out[60]; global mode;
+fn main() {
+  flag = mode;
+  for (i = 0; i < 60) {
+    out[i] = flag + i;
+    flag = 7;
+    flag = 0;
+  }
+  return i;
+}|}
+  in
+  let program = Pipeline.parse src in
+  let tr, _ = Pipeline.compile ~setup:(fun st -> Pipeline.set_global st "mode" 0) program in
+  let setup st = Pipeline.set_global st "mode" 9 in
+  let seq = Pipeline.run_sequential ~setup program in
+  let par = Pipeline.run_parallel ~setup ~config:(config ()) tr in
+  check "fell back" true (par.fallbacks = 1);
+  check "induction variable final value matches sequential" true
+    (Privateer_interp.Value.equal seq.seq_result par.par_result)
+
 let suite =
   [ Alcotest.test_case "privatization equivalence" `Quick test_privatization_equivalence;
     Alcotest.test_case "all worker counts" `Quick test_worker_counts;
@@ -330,4 +614,28 @@ let suite =
     Alcotest.test_case "misspeculation with deferred I/O" `Quick test_injected_misspec_with_io;
     Alcotest.test_case "misspeculation with reductions" `Quick test_injected_misspec_with_reductions;
     Alcotest.test_case "stats and breakdown" `Quick test_stats_private_bytes;
-    Alcotest.test_case "runtime prediction failure" `Quick test_wrong_prediction_at_runtime_recovers ]
+    Alcotest.test_case "runtime prediction failure" `Quick test_wrong_prediction_at_runtime_recovers;
+    Alcotest.test_case "schedule equivalence" `Quick test_schedule_equivalence;
+    Alcotest.test_case "schedule equivalence under misspec" `Quick
+      test_schedule_equivalence_under_misspec;
+    Alcotest.test_case "schedule-independent I/O order" `Quick test_schedule_io_order;
+    Alcotest.test_case "schedule parsing" `Quick test_schedule_of_string;
+    Alcotest.test_case "config validation" `Quick test_config_validation;
+    Alcotest.test_case "misspec on iteration 0" `Quick test_misspec_on_iteration_zero;
+    Alcotest.test_case "misspec on interval's last iteration" `Quick
+      test_misspec_on_interval_last_iteration;
+    Alcotest.test_case "misspec on the loop's last iteration" `Quick
+      test_misspec_on_loop_last_iteration;
+    Alcotest.test_case "misspec under serial commit" `Quick test_misspec_under_serial_commit;
+    Alcotest.test_case "adaptive period equivalence" `Quick test_adaptive_period_equivalence;
+    Alcotest.test_case "adaptive period: clean runs identical" `Quick
+      test_adaptive_period_clean_run_identical;
+    Alcotest.test_case "adaptive period cuts recovery cost" `Quick
+      test_adaptive_period_cuts_recovery;
+    Alcotest.test_case "throttle demotes and suspends" `Quick test_throttle_demotes_and_suspends;
+    Alcotest.test_case "no throttle: speculation continues" `Quick
+      test_throttle_off_keeps_speculating;
+    Alcotest.test_case "re-enable after suspension" `Quick test_reenable_loop;
+    Alcotest.test_case "per-loop stats table" `Quick test_loop_report_totals;
+    Alcotest.test_case "fallback induction final value" `Quick
+      test_fallback_induction_final_value ]
