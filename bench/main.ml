@@ -431,7 +431,8 @@ let () =
   | [] | _ :: [] ->
     List.iter (fun (_, f) -> f ()) experiments;
     print_newline ();
-    print_endline "(microbenchmarks: dune exec bench/main.exe -- micro)"
+    print_endline
+      "(wall-clock experiments: dune exec bench/main.exe -- micro | overhead)"
   | _ :: [ "micro" ] -> Micro.run ()
   | _ :: names ->
     List.iter
@@ -439,8 +440,9 @@ let () =
         match List.assoc_opt name experiments with
         | Some f -> f ()
         | None when name = "micro" -> Micro.run ()
+        | None when name = "overhead" -> Overhead.run ()
         | None ->
-          Printf.eprintf "unknown experiment %s (have: %s, micro)\n" name
+          Printf.eprintf "unknown experiment %s (have: %s, micro, overhead)\n" name
             (String.concat ", " (List.map fst experiments));
           exit 1)
       names

@@ -23,6 +23,18 @@ let test_shadow_access =
   Test.make ~name:"private-write validation (8B)"
     (Staged.stage (fun () -> Shadow.access m Shadow.Write ~addr ~size:8 ~beta:7))
 
+let test_shadow_access_reference =
+  let m = Machine.create () in
+  let addr = Heap.base Heap.Private + 64 in
+  Test.make ~name:"private-write validation (8B, per-byte ref)"
+    (Staged.stage (fun () -> Shadow_reference.access m Shadow.Write ~addr ~size:8 ~beta:7))
+
+let test_shadow_access_run =
+  let m = Machine.create () in
+  let addr = Heap.base Heap.Private + 128 in
+  Test.make ~name:"private-write validation (64B run)"
+    (Staged.stage (fun () -> Shadow.access m Shadow.Write ~addr ~size:64 ~beta:7))
+
 let test_alloc_free =
   let a = Allocator.create Heap.Short_lived in
   Test.make ~name:"h_alloc + h_dealloc (16B)"
@@ -46,17 +58,36 @@ let test_interval_lookup =
   Test.make ~name:"profiler interval-map lookup"
     (Staged.stage (fun () -> ignore (Privateer_support.Interval_map.find_opt m 31337)))
 
+(* Reset mutates (timestamps -> old-write), so a fair repeated
+   measurement must re-populate the page's timestamps each run; both
+   the indexed and the per-byte reference variant pay the same
+   repopulation (via their own access implementation). *)
 let test_metadata_reset =
   let m = Machine.create () in
-  for i = 0 to 511 do
-    Shadow.access m Shadow.Write ~addr:(Heap.base Heap.Private + (i * 8)) ~size:8 ~beta:5
-  done;
-  Test.make ~name:"checkpoint metadata reset (1 page)"
-    (Staged.stage (fun () -> ignore (Shadow.reset_interval m)))
+  Test.make ~name:"checkpoint reset (1 page, incl. repopulate)"
+    (Staged.stage (fun () ->
+         for i = 0 to 511 do
+           Shadow.access m Shadow.Write ~addr:(Heap.base Heap.Private + (i * 8)) ~size:8
+             ~beta:5
+         done;
+         ignore (Shadow.reset_interval m)))
+
+let test_metadata_reset_reference =
+  let m = Machine.create () in
+  Test.make ~name:"checkpoint reset (1 page, per-byte ref)"
+    (Staged.stage (fun () ->
+         for i = 0 to 511 do
+           Shadow_reference.access m Shadow.Write
+             ~addr:(Heap.base Heap.Private + (i * 8))
+             ~size:8 ~beta:5
+         done;
+         ignore (Shadow_reference.reset_interval m)))
 
 let all_tests =
-  [ test_heap_check; test_shadow_transition; test_shadow_access; test_alloc_free;
-    test_cow_fault; test_interval_lookup; test_metadata_reset ]
+  [ test_heap_check; test_shadow_transition; test_shadow_access;
+    test_shadow_access_reference; test_shadow_access_run; test_alloc_free;
+    test_cow_fault; test_interval_lookup; test_metadata_reset;
+    test_metadata_reset_reference ]
 
 let run () =
   let instances = Instance.[ monotonic_clock ] in

@@ -1,11 +1,14 @@
 (* Checkpoint contribution, merge, and commit (paper section 5.2).
 
-   Per interval, each worker contributes its speculative state
-   (dirty-page scan); the merge performs phase-2 privacy validation
-   and last-writer-wins combination; a clean merge commits into the
-   main process: private-byte overlay, absolute reduction values,
-   register-reduction folds, deferred output in iteration order, and
-   per-worker metadata reset.  The final interval additionally adopts
+   Per interval, each worker contributes its speculative state (a scan
+   of the shadow bank's dirty pages, skipping pages whose summary
+   flags show no metadata); the merge performs phase-2 privacy
+   validation via the per-word writer index and last-writer-wins
+   combination; a clean merge commits into the main process:
+   private-byte overlay, absolute reduction values, register-reduction
+   folds, deferred output in iteration order, and per-worker metadata
+   reset (which likewise visits only timestamp-flagged pages, while
+   the simulated per-page charge stays on every mapped shadow page).  The final interval additionally adopts
    allocator state and live-out private registers from the worker
    that ran the last iteration. *)
 

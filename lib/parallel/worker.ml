@@ -206,13 +206,11 @@ let spawn (env : env) (st : Interp.t) fr spec ranges n_workers ~now =
           Hashtbl.replace frame.Interp.locals name (Reduction.identity_value op))
         (reduction_regs spec);
       (* The reduction heap is replaced by identity-initialized pages
-         (paper 3.2). *)
+         (paper 3.2) — bulk word fill, one page resolution per page. *)
       List.iter
         (fun (base, size, op) ->
           let bits, is_float = Reduction.identity_bits op in
-          for wd = 0 to ((size + 7) / 8) - 1 do
-            Machine.write_word wst.machine (base + (8 * wd)) bits is_float
-          done)
+          Machine.fill_words wst.machine base ~words:((size + 7) / 8) bits is_float)
         ranges;
       Memory.clear_dirty wst.machine.Machine.mem;
       let w =

@@ -35,44 +35,59 @@ type contribution = {
   pages_touched : int; (* for checkpoint copy cost accounting *)
 }
 
-(* Extract a worker's interval contribution by scanning the pages it
-   dirtied since the interval started.  [interval_start] decodes
-   shadow timestamps into iteration numbers. *)
+(* Extract a worker's interval contribution by scanning the shadow
+   pages it dirtied since the interval started.  [interval_start]
+   decodes shadow timestamps into iteration numbers.
+
+   The shadow bank's dirty index hands us exactly the candidate pages
+   (no filtering of the global dirty set); pages whose summary flags
+   show neither timestamps nor read-live-in marks are skipped without
+   a scan, and flagged pages are scanned word-wise directly on the
+   page bytes (an all-zero metadata word is all live-in). *)
 let contribution_of_worker ~worker ~interval_start (machine : Machine.t)
     ~redux_ranges ~reg_partials =
   let mem = machine.Machine.mem in
   let writes = Hashtbl.create 256 in
   let live_in_reads = Hashtbl.create 16 in
-  let dirty = Memory.dirty_pages mem in
-  let shadow_pages =
-    List.filter
-      (fun key -> Heap.equal_kind (Heap.heap_of_addr (key * Memory.page_size)) Heap.Shadow)
-      dirty
-  in
   List.iter
     (fun key ->
-      let base = key * Memory.page_size in
-      for off = 0 to Memory.page_size - 1 do
-        let shadow_addr = base + off in
-        let m = Memory.read_byte mem shadow_addr in
-        if Shadow.is_timestamp m then begin
-          let private_addr = Heap.private_of_shadow shadow_addr in
-          let word_addr = private_addr land lnot 7 in
-          let iter = Shadow.iteration_of_timestamp ~interval_start m in
-          let keep =
-            match Hashtbl.find_opt writes word_addr with
-            | Some prev -> iter > prev.iter
-            | None -> true
-          in
-          if keep then begin
-            let bits, is_float = Memory.read_word mem word_addr in
-            Hashtbl.replace writes word_addr { iter; bits; is_float }
-          end
-        end
-        else if m = Shadow.read_live_in then
-          Hashtbl.replace live_in_reads (Heap.private_of_shadow shadow_addr) ()
-      done)
-    shadow_pages;
+      match Memory.find_page mem (Memory.base_of_page key) with
+      | None -> ()
+      | Some page ->
+        if Memory.any_timestamp page || Memory.any_live_in_read page then begin
+          let bytes = Memory.page_bytes page in
+          let base = Memory.base_of_page key in
+          let off = ref 0 in
+          while !off < Memory.page_size do
+            if Bytes.get_int64_le bytes !off = 0L then off := !off + 8
+            else begin
+              let fin = !off + 8 in
+              while !off < fin do
+                let m = Char.code (Bytes.unsafe_get bytes !off) in
+                if Shadow.is_timestamp m then begin
+                  let private_addr = Heap.private_of_shadow (base + !off) in
+                  let word_addr = private_addr land lnot 7 in
+                  let iter = Shadow.iteration_of_timestamp ~interval_start m in
+                  let keep =
+                    match Hashtbl.find_opt writes word_addr with
+                    | Some prev -> iter > prev.iter
+                    | None -> true
+                  in
+                  if keep then begin
+                    let bits, is_float = Memory.read_word mem word_addr in
+                    Hashtbl.replace writes word_addr { iter; bits; is_float }
+                  end
+                end
+                else if m = Shadow.read_live_in then
+                  Hashtbl.replace live_in_reads
+                    (Heap.private_of_shadow (base + !off))
+                    ();
+                incr off
+              done
+            end
+          done
+        end)
+    (Memory.dirty_pages ~heap:Heap.Shadow mem);
   let redux_words =
     List.concat_map
       (fun (base, size, _op) ->
@@ -84,7 +99,7 @@ let contribution_of_worker ~worker ~interval_start (machine : Machine.t)
       redux_ranges
   in
   { worker; writes; live_in_reads; redux_words; reg_partials;
-    pages_touched = List.length dirty }
+    pages_touched = Memory.dirty_count mem }
 
 type merged = {
   (* word address -> the interval's winning (latest-iteration) write *)
@@ -96,15 +111,26 @@ type merged = {
   total_pages : int;
 }
 
-(* Phase-2 validation + last-writer-wins merge. *)
+(* Phase-2 validation + last-writer-wins merge.
+
+   The merge pass that builds the overlay also builds a per-word
+   writer index ([-1] = more than one distinct worker), so phase 2 is
+   a single O(1) lookup per live-in byte instead of a scan over every
+   writer's contribution — O(live-in bytes) total where the old
+   nested-list pass was O(readers x live-in bytes x writers). *)
 let merge (contribs : contribution list) =
   let overlay = Hashtbl.create 1024 in
+  let writers = Hashtbl.create 1024 in (* word -> sole writer, or -1 *)
   let violation = ref None in
-  (* Last-writer-wins across workers. *)
+  (* Last-writer-wins across workers; record who wrote each word. *)
   List.iter
     (fun c ->
       Hashtbl.iter
         (fun addr (w : word_write) ->
+          (match Hashtbl.find_opt writers addr with
+          | None -> Hashtbl.replace writers addr c.worker
+          | Some id when id = c.worker || id = -1 -> ()
+          | Some _ -> Hashtbl.replace writers addr (-1));
           match Hashtbl.find_opt overlay addr with
           | Some prev when prev.iter >= w.iter -> ()
           | Some _ | None -> Hashtbl.replace overlay addr w)
@@ -119,12 +145,10 @@ let merge (contribs : contribution list) =
         Hashtbl.iter
           (fun addr () ->
             if !violation = None then
-              let word = addr land lnot 7 in
-              List.iter
-                (fun writer ->
-                  if writer.worker <> reader.worker && Hashtbl.mem writer.writes word
-                  then violation := Some (Misspec.Phase2 { addr }))
-                contribs)
+              match Hashtbl.find_opt writers (addr land lnot 7) with
+              | Some id when id <> reader.worker ->
+                violation := Some (Misspec.Phase2 { addr })
+              | Some _ | None -> ())
           reader.live_in_reads)
     contribs;
   let total_pages = List.fold_left (fun acc c -> acc + c.pages_touched) 0 contribs in

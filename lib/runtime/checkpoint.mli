@@ -19,8 +19,10 @@ type contribution = {
   pages_touched : int; (* for copy-cost accounting *)
 }
 
-(** Extract a worker's interval contribution by scanning the pages it
-    dirtied since the interval started; shadow timestamps decode into
+(** Extract a worker's interval contribution by scanning the shadow
+    pages it dirtied since the interval started (straight off the
+    shadow bank's dirty index; pages without timestamp/read-live-in
+    summary flags are skipped); shadow timestamps decode into
     iteration numbers relative to [interval_start]. *)
 val contribution_of_worker :
   worker:int ->
@@ -37,7 +39,9 @@ type merged = {
   total_pages : int;
 }
 
-(** Phase-2 validation plus last-writer-wins merge. *)
+(** Phase-2 validation plus last-writer-wins merge.  Phase 2 is one
+    per-word writer-index lookup per live-in byte (O(live-in bytes)),
+    not a scan over every writer's contribution. *)
 val merge : contribution list -> merged
 
 (** Install a merged overlay into the main process's memory. *)

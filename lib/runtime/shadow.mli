@@ -40,12 +40,18 @@ type verdict =
 val transition : op -> current:int -> beta:int -> verdict
 
 (** Apply the transition to every metadata byte covering a private
-    access on the given worker machine.
+    access on the given worker machine.  Range-granular: one page
+    resolution per contiguous run, metadata transitioned directly on
+    the page bytes, page summary flags raised for the checkpoint and
+    reset scans.  Byte-for-byte equivalent to
+    [Shadow_reference.access] (property-tested).
     @raise Misspec.Misspeculation on a violation. *)
 val access :
   Privateer_machine.Machine.t -> op -> addr:int -> size:int -> beta:int -> unit
 
 (** Checkpoint-time reset: every timestamp becomes old-write (code 1);
-    read-live-in marks are preserved.  Returns the number of shadow
-    pages scanned, for cost accounting. *)
+    read-live-in marks are preserved.  Returns the number of mapped
+    shadow pages — the unchanged simulated cost charge — while host
+    work visits only pages whose [any_timestamp] summary flag is
+    set. *)
 val reset_interval : Privateer_machine.Machine.t -> int

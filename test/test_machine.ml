@@ -115,6 +115,87 @@ let test_memory_dirty_tracking () =
   ignore (Memory.read_byte m 0x0);
   check_int "reads don't dirty" 0 (Memory.dirty_count m)
 
+let test_memory_equal_range_page_boundary () =
+  let a = Memory.create () in
+  let b = Memory.create () in
+  (* A value straddling the first page boundary, equal in both. *)
+  Memory.write_word a (Memory.page_size - 3) 0x0102030405060708L false;
+  Memory.write_word b (Memory.page_size - 3) 0x0102030405060708L false;
+  check "equal across boundary" true
+    (Memory.equal_range a b (Memory.page_size - 8) (Memory.page_size + 8));
+  (* Diverge one byte just past the boundary. *)
+  Memory.write_byte b (Memory.page_size + 1) 0x7f;
+  check "difference past boundary detected" false
+    (Memory.equal_range a b (Memory.page_size - 8) (Memory.page_size + 8));
+  (* The divergent byte is outside this sub-range. *)
+  check "sub-range before the divergence still equal" true
+    (Memory.equal_range a b (Memory.page_size - 8) (Memory.page_size + 1));
+  (* Unaligned bounds exercise the byte head/tail of the word loop. *)
+  check "unaligned bounds" true (Memory.equal_range a b 3 (Memory.page_size - 5))
+
+let test_memory_equal_range_unmapped_vs_zero () =
+  let a = Memory.create () in
+  let b = Memory.create () in
+  (* Map a page in [a] that holds only zeros (write then zero it). *)
+  Memory.write_byte a 0x20 1;
+  Memory.write_byte a 0x20 0;
+  check "mapped-all-zero page equals unmapped" true
+    (Memory.equal_range a b 0 Memory.page_size);
+  check "footprint: mapped zeros = unmapped" true (Memory.equal_footprint a b);
+  Memory.write_byte a 0x20 9;
+  check "nonzero byte breaks it" false (Memory.equal_range a b 0 Memory.page_size)
+
+let test_memory_equal_range_large_stack_safe () =
+  (* 1 MiB range: the old byte recursion would take ~10^6 nested
+     steps; the word-wise loop must handle it comfortably. *)
+  let a = Memory.create () in
+  let b = Memory.create () in
+  let hi = 1 lsl 20 in
+  Memory.write_word a (hi - 8) 5L false;
+  Memory.write_word b (hi - 8) 5L false;
+  check "1 MiB equal" true (Memory.equal_range a b 0 hi);
+  Memory.write_byte b (hi - 1) 1;
+  check "last byte differs" false (Memory.equal_range a b 0 hi)
+
+let test_memory_fill_words_and_blit () =
+  let a = Memory.create () in
+  Memory.fill_words a 0x1000 ~words:(Memory.words_per_page + 4)
+    (Int64.bits_of_float 1.5) true;
+  (* Fill spans two pages and sets float tags. *)
+  check "fill start" true (fst (Memory.read_word a 0x1000) = Int64.bits_of_float 1.5);
+  let bits, isf = Memory.read_word a (0x1000 + (8 * (Memory.words_per_page + 3))) in
+  check "fill end bits" true (bits = Int64.bits_of_float 1.5);
+  check "fill end float tag" true isf;
+  (* Word blit into a second memory preserves data and float tags. *)
+  let b = Memory.create () in
+  Memory.blit ~src:a ~src_addr:0x1000 ~dst:b ~dst_addr:0x3000 ~len:64;
+  let bits, isf = Memory.read_word b 0x3038 in
+  check "blit bits" true (bits = Int64.bits_of_float 1.5);
+  check "blit float tag" true isf;
+  (* Unmapped source blits as zeros (over previously nonzero bytes). *)
+  Memory.write_word b 0x5000 77L false;
+  Memory.blit ~src:a ~src_addr:0x100000 ~dst:b ~dst_addr:0x5000 ~len:16;
+  check_int "unmapped source zeros the destination" 0
+    (Int64.to_int (fst (Memory.read_word b 0x5000)))
+
+let test_memory_heap_banks () =
+  let m = Memory.create () in
+  Memory.write_byte m (Heap.base Heap.Private + 5) 1;
+  Memory.write_byte m (Heap.base Heap.Private + Memory.page_size) 2;
+  Memory.write_byte m (Heap.base Heap.Shadow + 7) 3;
+  check_int "private bank has two pages" 2
+    (Memory.mapped_page_count m ~heap:Heap.Private);
+  check_int "shadow bank has one page" 1 (Memory.mapped_page_count m ~heap:Heap.Shadow);
+  check_int "default bank empty" 0 (Memory.mapped_page_count m ~heap:Heap.Default);
+  check_int "fold visits the bank's pages" 2
+    (Memory.fold_pages m ~heap:Heap.Private ~init:0 ~f:(fun ~key:_ _ acc -> acc + 1));
+  check_int "per-heap dirty index" 1
+    (List.length (Memory.dirty_pages ~heap:Heap.Shadow m));
+  check_int "global dirty count spans banks" 3 (Memory.dirty_count m);
+  Memory.clear_dirty m;
+  check_int "per-heap dirty cleared" 0
+    (List.length (Memory.dirty_pages ~heap:Heap.Shadow m))
+
 let test_memory_copy_page_equal_footprint () =
   let a = Memory.create () in
   let b = Memory.create () in
@@ -209,6 +290,11 @@ let suite =
     Alcotest.test_case "COW parent/child isolation" `Quick test_memory_cow_isolation;
     Alcotest.test_case "COW sibling isolation" `Quick test_memory_cow_two_children;
     Alcotest.test_case "dirty page tracking" `Quick test_memory_dirty_tracking;
+    Alcotest.test_case "equal_range across a page boundary" `Quick test_memory_equal_range_page_boundary;
+    Alcotest.test_case "equal_range: unmapped vs mapped zeros" `Quick test_memory_equal_range_unmapped_vs_zero;
+    Alcotest.test_case "equal_range is stack-safe on 1 MiB" `Quick test_memory_equal_range_large_stack_safe;
+    Alcotest.test_case "fill_words and blit" `Quick test_memory_fill_words_and_blit;
+    Alcotest.test_case "heap-banked page index" `Quick test_memory_heap_banks;
     Alcotest.test_case "page copy + footprint equality" `Quick test_memory_copy_page_equal_footprint;
     Alcotest.test_case "allocator basics" `Quick test_allocator_basic;
     Alcotest.test_case "allocator recycles freed ranges" `Quick test_allocator_recycles;

@@ -192,6 +192,73 @@ let prop_shadow_vs_oracle history =
     history;
   !machine_fail = !oracle_fail
 
+(* ---- range-granular shadow access vs per-byte reference ----------------- *)
+
+(* The refactored Shadow.access resolves pages per contiguous run and
+   keeps per-page summary flags; Shadow_reference retains the original
+   per-byte implementation.  Under random op/addr/size/beta sequences
+   (addresses biased to straddle page boundaries, occasional interval
+   resets to stress the flag-driven reset path) both must produce the
+   same verdicts at the same op index and byte-identical metadata. *)
+type sh_op = Access of { write : bool; off : int; size : int; beta : int } | Reset
+
+let sh_op_gen =
+  QCheck.Gen.(
+    let page = 4096 in
+    let off_gen =
+      oneof
+        [ int_bound (3 * page);
+          map (fun d -> page - 20 + d) (int_bound 40);
+          map (fun d -> (2 * page) - 20 + d) (int_bound 40) ]
+    in
+    frequency
+      [ ( 9,
+          map2
+            (fun (w, off) (size, beta) -> Access { write = w; off; size; beta })
+            (pair bool off_gen)
+            (pair (int_range 1 64) (int_range 3 250)) );
+        (1, return Reset) ])
+
+let sh_ops_arb =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Access a ->
+               Printf.sprintf "%s@%d+%d b%d" (if a.write then "W" else "R") a.off a.size
+                 a.beta
+             | Reset -> "RESET")
+           ops))
+    QCheck.Gen.(list_size (int_bound 40) sh_op_gen)
+
+let prop_range_access_matches_reference ops =
+  let open Privateer_machine in
+  let open Privateer_runtime in
+  let base = Privateer_ir.Heap.base Privateer_ir.Heap.Private in
+  let run access reset =
+    let m = Machine.create () in
+    let fail = ref None in
+    List.iteri
+      (fun idx op ->
+        if !fail = None then
+          match op with
+          | Reset -> ignore (reset m)
+          | Access a -> (
+            try
+              access m
+                (if a.write then Shadow.Write else Shadow.Read)
+                ~addr:(base + a.off) ~size:a.size ~beta:a.beta
+            with Misspec.Misspeculation r -> fail := Some (idx, r)))
+      ops;
+    (m, !fail)
+  in
+  let m_new, f_new = run Shadow.access (fun m -> Shadow.reset_interval m) in
+  let m_ref, f_ref = run Shadow_reference.access (fun m -> Shadow_reference.reset_interval m) in
+  (* Same failing op index and structurally equal verdict (Misspec
+     reasons are pure data), and byte-identical memories afterwards. *)
+  f_new = f_ref && Memory.equal_footprint m_new.Machine.mem m_ref.Machine.mem
+
 (* ---- random privatizable programs --------------------------------------- *)
 
 (* Generate a loop body from templates that reuse a global scratch
@@ -286,6 +353,8 @@ let suite =
         prop_cow_isolation;
       QCheck.Test.make ~count:500 ~name:"shadow machine = history oracle" history_arb
         prop_shadow_vs_oracle;
+      QCheck.Test.make ~count:300 ~name:"range-granular access = per-byte reference"
+        sh_ops_arb prop_range_access_matches_reference;
       QCheck.Test.make ~count:60 ~name:"random privatizable loops: par = seq" body_arb
         prop_random_privatizable_equivalence;
       QCheck.Test.make ~count:30 ~name:"random loops + misspec: par = seq" body_arb
