@@ -32,18 +32,19 @@ let compiled wl =
     c
 
 let config ?(workers = 24) ?checkpoint_period ?inject ?(serial_commit = false)
-    ?(schedule = Privateer_parallel.Schedule.Cyclic) ?(adaptive = false) ?throttle () =
+    ?(schedule = Privateer_parallel.Schedule.Cyclic) ?(adaptive = false) ?throttle
+    ?(host_domains = Privateer_parallel.Executor.default_host_domains) () =
   { Privateer_parallel.Executor.default_config with
     workers; checkpoint_period; inject; serial_commit; schedule;
-    adaptive_period = adaptive; throttle }
+    adaptive_period = adaptive; throttle; host_domains }
 
 let run_parallel ?workers ?checkpoint_period ?inject ?serial_commit ?schedule
-    ?adaptive ?throttle c =
+    ?adaptive ?throttle ?host_domains c =
   Pipeline.run_parallel
     ~setup:(Workload.setup c.wl Workload.Ref)
     ~config:
       (config ?workers ?checkpoint_period ?inject ?serial_commit ?schedule ?adaptive
-         ?throttle ())
+         ?throttle ?host_domains ())
     c.tr
 
 let speedup c (par : Pipeline.par_run) =

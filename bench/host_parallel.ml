@@ -1,0 +1,211 @@
+(* The `host_parallel` experiment: host-time scaling of checkpoint
+   extraction over OCaml domains, and the incremental phase-2 merge.
+
+   Three measurements:
+
+   - extraction wall time over 1/2/4/8 host domains on a fixed
+     multi-worker footprint (8 workers x 20 dirty shadow pages).  The
+     speedup curve depends on the cores the host actually has —
+     `host_cores` is recorded next to the numbers so a 1-core CI
+     container's flat curve is not mistaken for a regression;
+   - merge cost per interval: a clean interval (no new writes)
+     short-circuits the index fill and phase-2 scan outright, vs the
+     full phase-2 pass over the same live-in reads forced by a single
+     write; plus carried vs fresh index state on a writing interval;
+   - simulated-cycle identity: dijkstra at host_domains 4 must report
+     byte-identical output and the same wall/parallel cycles as at 1 —
+     host parallelism is never allowed to move the cycle model.
+
+   Results go to BENCH_host_parallel.json; iteration counts scale down
+   via HOST_PARALLEL_ITERS (CI smoke runs use a small value). *)
+
+open Privateer_ir
+open Privateer_machine
+open Privateer_runtime
+open Privateer_support
+
+let iters () =
+  match Sys.getenv_opt "HOST_PARALLEL_ITERS" with
+  | Some s -> (try max 1 (int_of_string s) with Failure _ -> 60)
+  | None -> 60
+
+let time_ns = Overhead.time_ns
+
+(* ---- extraction scaling ------------------------------------------------- *)
+
+let n_workers = 8
+let write_pages = 16
+let read_pages = 4
+
+(* One worker's interval footprint: [write_pages] fully timestamped
+   pages plus [read_pages] pages of live-in read marks. *)
+let footprint_machine () =
+  let m = Machine.create () in
+  Memory.clear_dirty m.Machine.mem;
+  for p = 0 to write_pages - 1 do
+    let base = Heap.base Heap.Private + (p * Memory.page_size) in
+    for i = 0 to (Memory.page_size / 8) - 1 do
+      Shadow.access m Shadow.Write ~addr:(base + (i * 8)) ~size:8 ~beta:5;
+      Machine.set_int m (base + (i * 8)) i
+    done
+  done;
+  for p = write_pages to write_pages + read_pages - 1 do
+    let base = Heap.base Heap.Private + (p * Memory.page_size) in
+    for i = 0 to (Memory.page_size / 8) - 1 do
+      Shadow.access m Shadow.Read ~addr:(base + (i * 8)) ~size:8 ~beta:5
+    done
+  done;
+  m
+
+let extraction_requests () =
+  List.init n_workers (fun w ->
+      { Checkpoint.req_worker = w; req_machine = footprint_machine ();
+        req_redux_ranges = []; req_reg_partials = [] })
+
+(* ns per full extraction (all workers), at a given pool size.
+   Dedicated pools per size so the chunking matches the label. *)
+let bench_extraction reqs domains =
+  let rounds = iters () in
+  if domains = 1 then
+    time_ns ~rounds ~reps:1 (fun () ->
+        ignore (Checkpoint.extract ~interval_start:0 reqs))
+  else begin
+    let pool = Domain_pool.create ~domains in
+    let ns =
+      time_ns ~rounds ~reps:1 (fun () ->
+          ignore (Checkpoint.extract ~pool ~interval_start:0 reqs))
+    in
+    Domain_pool.shutdown pool;
+    ns
+  end
+
+(* ---- merge cost per interval -------------------------------------------- *)
+
+let reader_contribution ~reads =
+  let m = Machine.create () in
+  Memory.clear_dirty m.Machine.mem;
+  for i = 0 to reads - 1 do
+    Shadow.access m Shadow.Read ~addr:(Heap.base Heap.Private + (i * 8)) ~size:8 ~beta:5
+  done;
+  Checkpoint.contribution_of_worker ~worker:0 ~interval_start:0 m ~redux_ranges:[]
+    ~reg_partials:[]
+
+let writer_contribution ~words =
+  let m = Machine.create () in
+  Memory.clear_dirty m.Machine.mem;
+  for i = 0 to words - 1 do
+    let addr = Heap.base Heap.Private + 65536 + (i * 8) in
+    Shadow.access m Shadow.Write ~addr ~size:8 ~beta:5;
+    Machine.set_int m addr i
+  done;
+  Checkpoint.contribution_of_worker ~worker:1 ~interval_start:0 m ~redux_ranges:[]
+    ~reg_partials:[]
+
+let bench_merge () =
+  let rounds = iters () * 20 in
+  let clean = [ reader_contribution ~reads:2048 ] in
+  let one_write = writer_contribution ~words:1 :: clean in
+  let writing = [ writer_contribution ~words:2048 ] in
+  let state = Checkpoint.create_merge_state () in
+  let t_clean = time_ns ~rounds ~reps:1 (fun () -> ignore (Checkpoint.merge ~state clean)) in
+  let t_full =
+    time_ns ~rounds ~reps:1 (fun () -> ignore (Checkpoint.merge ~state one_write))
+  in
+  let t_write_fresh =
+    time_ns ~rounds ~reps:1 (fun () -> ignore (Checkpoint.merge writing))
+  in
+  let t_write_carried =
+    time_ns ~rounds ~reps:1 (fun () -> ignore (Checkpoint.merge ~state writing))
+  in
+  (t_clean, t_full, t_write_fresh, t_write_carried)
+
+(* ---- simulated-cycle identity ------------------------------------------- *)
+
+let simulated_identity () =
+  let c = Harness.compiled Privateer_workloads.Dijkstra.workload in
+  let base = Harness.run_parallel ~host_domains:1 c in
+  let par = Harness.run_parallel ~host_domains:4 c in
+  let open Privateer.Pipeline in
+  ( base.stats.wall_cycles, par.stats.wall_cycles,
+    base.par_cycles = par.par_cycles
+    && base.stats.wall_cycles = par.stats.wall_cycles
+    && base.stats.checkpoints = par.stats.checkpoints,
+    String.equal base.par_output par.par_output )
+
+(* ---- driver ------------------------------------------------------------- *)
+
+let run () =
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "\n================ host_parallel: extraction over OCaml domains ================\n\n";
+  Printf.printf
+    "footprint: %d workers x (%d written + %d read-live-in) pages; host cores: %d\n\n"
+    n_workers write_pages read_pages cores;
+  let reqs = extraction_requests () in
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  let curve = List.map (fun d -> (d, bench_extraction reqs d)) domain_counts in
+  let t_seq = List.assoc 1 curve in
+  let t =
+    Table.create
+      ~aligns:[ Table.Right; Table.Right; Table.Right ]
+      [ "host domains"; "extraction us"; "speedup vs 1" ]
+  in
+  List.iter
+    (fun (d, ns) ->
+      Table.add_row t
+        [ string_of_int d; Printf.sprintf "%.1f" (ns /. 1e3);
+          Printf.sprintf "%.2fx" (t_seq /. ns) ])
+    curve;
+  Table.print t;
+  if cores <= 1 then
+    print_endline
+      "\n(single host core: the curve is flat here by construction; the speedup\n\
+      \ column is only meaningful on a multi-core host)";
+  let t_clean, t_full, t_write_fresh, t_write_carried = bench_merge () in
+  Printf.printf "\nmerge cost per interval (2048 live-in reads / 2048 written words):\n";
+  Printf.printf "  clean interval, short-circuit   : %8.1f ns\n" t_clean;
+  Printf.printf "  1-write interval, full phase-2  : %8.1f ns (%.1fx the clean cost)\n"
+    t_full (t_full /. t_clean);
+  Printf.printf "  writing interval, fresh index   : %8.1f ns\n" t_write_fresh;
+  Printf.printf "  writing interval, carried index : %8.1f ns\n" t_write_carried;
+  let wall_1, wall_4, cycles_equal, output_equal = simulated_identity () in
+  Printf.printf
+    "\nsimulated identity (dijkstra, 24 workers): host_domains 1 -> %d cycles, 4 -> %d cycles; cycles %s, output %s\n"
+    wall_1 wall_4
+    (if cycles_equal then "identical" else "DIFFER (BUG)")
+    (if output_equal then "identical" else "DIFFERS (BUG)");
+  let json =
+    let open Json in
+    Obj
+      [ ("experiment", String "host_parallel"); ("host_cores", Int cores);
+        ("iters", Int (iters ()));
+        ( "footprint",
+          Obj
+            [ ("workers", Int n_workers); ("write_pages", Int write_pages);
+              ("read_pages", Int read_pages) ] );
+        ( "extraction_ns",
+          List
+            (List.map
+               (fun (d, ns) ->
+                 Obj
+                   [ ("host_domains", Int d); ("ns", Float ns);
+                     ("speedup_vs_1", Float (t_seq /. ns)) ])
+               curve) );
+        ( "merge_ns",
+          Obj
+            [ ("clean_interval_short_circuit", Float t_clean);
+              ("one_write_full_phase2", Float t_full);
+              ("short_circuit_speedup", Float (t_full /. t_clean));
+              ("writing_interval_fresh_index", Float t_write_fresh);
+              ("writing_interval_carried_index", Float t_write_carried) ] );
+        ( "simulated_identity",
+          Obj
+            [ ("workload", String "dijkstra"); ("wall_cycles_1_domain", Int wall_1);
+              ("wall_cycles_4_domains", Int wall_4); ("cycles_identical", Bool cycles_equal);
+              ("output_identical", Bool output_equal) ] ) ]
+  in
+  let oc = open_out "BENCH_host_parallel.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "\nwrote BENCH_host_parallel.json"

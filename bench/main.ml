@@ -432,7 +432,7 @@ let () =
     List.iter (fun (_, f) -> f ()) experiments;
     print_newline ();
     print_endline
-      "(wall-clock experiments: dune exec bench/main.exe -- micro | overhead)"
+      "(wall-clock experiments: dune exec bench/main.exe -- micro | overhead | host_parallel)"
   | _ :: [ "micro" ] -> Micro.run ()
   | _ :: names ->
     List.iter
@@ -441,8 +441,10 @@ let () =
         | Some f -> f ()
         | None when name = "micro" -> Micro.run ()
         | None when name = "overhead" -> Overhead.run ()
+        | None when name = "host_parallel" -> Host_parallel.run ()
         | None ->
-          Printf.eprintf "unknown experiment %s (have: %s, micro, overhead)\n" name
+          Printf.eprintf
+            "unknown experiment %s (have: %s, micro, overhead, host_parallel)\n" name
             (String.concat ", " (List.map fst experiments));
           exit 1)
       names

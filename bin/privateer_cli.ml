@@ -38,6 +38,14 @@ let wl_arg = Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WO
 let workers_arg =
   Arg.(value & opt int 24 & info [ "w"; "workers" ] ~docv:"N" ~doc:"Worker processes.")
 
+let host_domains_arg =
+  Arg.(value
+       & opt int Privateer_parallel.Executor.default_host_domains
+       & info [ "host-domains" ] ~docv:"N"
+           ~doc:"Run checkpoint extraction on N host OCaml domains (default \
+                 \\$(b,PRIVATEER_HOST_DOMAINS) or 1).  Host-only: simulated \
+                 cycles and outputs are identical at any setting.")
+
 let input_arg =
   Arg.(value & opt input_conv Workload.Ref
        & info [ "i"; "input" ] ~docv:"INPUT" ~doc:"Input set (train|ref|alt).")
@@ -91,10 +99,11 @@ let spaced_injection rate =
         > int_of_float (float_of_int iter *. rate))
 
 let config ?(schedule = Privateer_parallel.Schedule.Cyclic) ?(adaptive = false)
-    ?throttle ~workers ~inject ~checkpoint () =
+    ?throttle ?(host_domains = Privateer_parallel.Executor.default_host_domains)
+    ~workers ~inject ~checkpoint () =
   { Privateer_parallel.Executor.default_config with
-    workers; inject = spaced_injection inject; checkpoint_period = checkpoint;
-    schedule; adaptive_period = adaptive; throttle }
+    workers; host_domains; inject = spaced_injection inject;
+    checkpoint_period = checkpoint; schedule; adaptive_period = adaptive; throttle }
 
 (* ---- commands --------------------------------------------------------- *)
 
@@ -208,13 +217,16 @@ let report_run ~seq ~(par : Pipeline.par_run) ~fallbacks =
     b.useful b.private_read b.private_write b.checkpoint b.spawn_join
 
 let run_cmd =
-  let run wl workers input inject checkpoint schedule adaptive throttle json =
+  let run wl workers host_domains input inject checkpoint schedule adaptive throttle
+      json =
     let program = Workload.program wl in
     let tr, _ = Pipeline.compile ~setup:(Workload.setup wl Train) program in
     let seq = Pipeline.run_sequential ~setup:(Workload.setup wl input) program in
     let par =
       Pipeline.run_parallel ~setup:(Workload.setup wl input)
-        ~config:(config ~schedule ~adaptive ?throttle ~workers ~inject ~checkpoint ())
+        ~config:
+          (config ~schedule ~adaptive ?throttle ~host_domains ~workers ~inject
+             ~checkpoint ())
         tr
     in
     if json then
@@ -224,18 +236,18 @@ let run_cmd =
     else report_run ~seq ~par ~fallbacks:par.fallbacks
   in
   Cmd.v (Cmd.info "run" ~doc:"Profile, privatize and run a workload in parallel")
-    Term.(const run $ wl_arg $ workers_arg $ input_arg $ inject_arg $ checkpoint_arg
-          $ schedule_arg $ adaptive_arg $ throttle_arg $ json_arg)
+    Term.(const run $ wl_arg $ workers_arg $ host_domains_arg $ input_arg $ inject_arg
+          $ checkpoint_arg $ schedule_arg $ adaptive_arg $ throttle_arg $ json_arg)
 
 let compare_cmd =
-  let run wl workers =
+  let run wl workers host_domains =
     let program = Workload.program wl in
     let profiler, _ = Pipeline.profile ~setup:(Workload.setup wl Train) program in
     let tr, _ = Pipeline.compile ~setup:(Workload.setup wl Train) program in
     let seq = Pipeline.run_sequential ~setup:(Workload.setup wl Ref) program in
     let par =
       Pipeline.run_parallel ~setup:(Workload.setup wl Ref)
-        ~config:(config ~workers ~inject:0.0 ~checkpoint:None ()) tr
+        ~config:(config ~host_domains ~workers ~inject:0.0 ~checkpoint:None ()) tr
     in
     let report = Privateer_baselines.Doall_only.select program profiler in
     let dst, _, _ =
@@ -251,24 +263,24 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Privateer vs the non-speculative DOALL-only baseline")
-    Term.(const run $ wl_arg $ workers_arg)
+    Term.(const run $ wl_arg $ workers_arg $ host_domains_arg)
 
 let file_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cm") in
-  let run path workers =
+  let run path workers host_domains =
     let source = In_channel.with_open_text path In_channel.input_all in
     let program = Pipeline.parse source in
     let tr, _ = Pipeline.compile program in
     let seq = Pipeline.run_sequential program in
     let par =
       Pipeline.run_parallel
-        ~config:(config ~workers ~inject:0.0 ~checkpoint:None ()) tr
+        ~config:(config ~host_domains ~workers ~inject:0.0 ~checkpoint:None ()) tr
     in
     print_string par.par_output;
     report_run ~seq ~par ~fallbacks:par.fallbacks
   in
   Cmd.v (Cmd.info "file" ~doc:"Run the full pipeline on a Cmini source file")
-    Term.(const run $ path $ workers_arg)
+    Term.(const run $ path $ workers_arg $ host_domains_arg)
 
 let () =
   let doc = "Privateer: speculative separation for privatization and reductions" in

@@ -64,7 +64,14 @@ type par_run = {
 }
 
 (** Speculative parallel execution of a transformed program under the
-    DOALL executor. *)
+    DOALL executor.
+
+    The config's [host_domains] field selects how many host OCaml
+    domains checkpoint extraction fans out over.  Host parallelism is
+    invisible to the simulation: for any setting, [par_output],
+    [par_result], [par_cycles] and every [stats] counter are
+    byte-identical to the sequential ([host_domains = 1]) run — only
+    the host wall-clock changes. *)
 val run_parallel :
   ?setup:setup ->
   ?config:Privateer_parallel.Executor.config ->

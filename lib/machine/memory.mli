@@ -17,9 +17,15 @@
     floats; partial (byte) stores clear the tag. *)
 
 val page_shift : int
-val page_size : int
-val words_per_page : int
+(** log2 of the page size (12). *)
 
+val page_size : int
+(** Bytes per page (4096). *)
+
+val words_per_page : int
+(** 8-byte words per page (512). *)
+
+(** A paged memory. *)
 type t
 
 (** A mapped page.  [page_bytes] is the live backing store: callers
@@ -30,6 +36,8 @@ type t
 type page
 
 val page_bytes : page -> Bytes.t
+(** The page's backing store (see {!type-page} for the mutation
+    rules). *)
 
 (** Summary flags.  The [any_timestamp] / [any_live_in_read] flags are
     set by the shadow layer when it writes the corresponding metadata
@@ -42,18 +50,23 @@ val page_bytes : page -> Bytes.t
 val any_timestamp : page -> bool
 val any_live_in_read : page -> bool
 val written_this_interval : page -> bool
+
 val flag_timestamp : page -> unit
 val flag_live_in_read : page -> unit
 val clear_timestamp_flag : page -> unit
 
 val create : unit -> t
+(** An empty memory (every read sees zero). *)
 
 (** Copy-on-write child sharing every current page with the parent;
     either side's first write to a shared page clones it. *)
 val snapshot : t -> t
 
 val page_of_addr : int -> int
+(** The page number containing an address. *)
+
 val offset_of_addr : int -> int
+(** The in-page byte offset of an address. *)
 
 (** Base address of a page number. *)
 val base_of_page : int -> int
@@ -80,6 +93,8 @@ val write_byte : t -> int -> int -> unit
 val read_word : t -> int -> int64 * bool
 
 val write_word : t -> int -> int64 -> bool -> unit
+(** Raw 8-byte little-endian write of [(bits, is_float)]; the
+    counterpart of {!read_word}. *)
 
 (** {2 Bulk API}
 
@@ -117,7 +132,10 @@ val blit : src:t -> src_addr:int -> dst:t -> dst_addr:int -> len:int -> unit
 val dirty_pages : ?heap:Privateer_ir.Heap.kind -> t -> int list
 
 val clear_dirty : t -> unit
+(** Empty the dirty set (checkpoint interval boundary). *)
+
 val dirty_count : t -> int
+(** Size of the dirty set — the checkpoint copy-cost charge. *)
 
 (** Deep-copy [src]'s page [key] into [dst] (checkpoint restore). *)
 val copy_page_into : dst:t -> src:t -> int -> unit

@@ -20,7 +20,9 @@ open Privateer_runtime
 
 (* Everything one worker cohort's commits need; rebuilt at each
    (re)spawn because the reduction bases are read from the main
-   process at that point. *)
+   process at that point (and so the carried merge index restarts with
+   the cohort — squashed contributions must not leave entries
+   behind). *)
 type ctx = {
   env : Worker.env;
   ranges : (int * int * Privateer_ir.Ast.binop) list; (* redux heap ranges *)
@@ -30,43 +32,59 @@ type ctx = {
   io : Deferred_io.t;
   emit_main : string -> unit;
   serial_commit : bool;
+  pool : Privateer_support.Domain_pool.t option;
+      (* host-domain pool for checkpoint extraction; None = sequential *)
+  merge_state : Checkpoint.merge_state;
+      (* word -> writer index carried across this cohort's intervals *)
 }
 
-let make_ctx (env : Worker.env) (st : Interp.t) fr spec ~io ~emit_main ~serial_commit =
+let make_ctx (env : Worker.env) (st : Interp.t) fr spec ~io ~emit_main ~serial_commit
+    ~pool =
   let ranges = Worker.redux_ranges st spec in
   let reg_ops = Worker.reduction_regs spec in
   { env; ranges; reg_ops; redux_base = Worker.read_redux_base st ranges;
     reg_base =
       List.map (fun (name, _) -> (name, Hashtbl.find fr.Interp.locals name)) reg_ops;
-    io; emit_main; serial_commit }
+    io; emit_main; serial_commit; pool;
+    merge_state = Checkpoint.create_merge_state () }
 
 let write_value_word machine addr (v : Value.t) =
   let bits, is_float = Value.to_bits v in
   Machine.write_word machine addr bits is_float
 
 (* Contribution collection: each worker's interval state plus the
-   page-granular copy cost on its clock. *)
+   page-granular copy cost on its clock.  The extraction scans fan out
+   over the ctx's domain pool (per worker and per page chunk) when one
+   is configured; the simulated copy cost is charged identically
+   either way — host parallelism never moves the cycle model. *)
 let collect ctx workers ~interval_start =
   let cm = ctx.env.Worker.cm in
   let stats = ctx.env.Worker.stats in
-  List.map
-    (fun (w : Worker.t) ->
-      let reg_partials =
-        List.map
-          (fun (name, _) -> (name, Hashtbl.find w.w_frame.Interp.locals name))
-          ctx.reg_ops
-      in
-      let c =
-        Checkpoint.contribution_of_worker ~worker:w.w_id ~interval_start
-          w.w_st.machine ~redux_ranges:ctx.ranges ~reg_partials
-      in
+  let reqs =
+    List.map
+      (fun (w : Worker.t) ->
+        { Checkpoint.req_worker = w.w_id; req_machine = w.w_st.machine;
+          req_redux_ranges = ctx.ranges;
+          req_reg_partials =
+            List.map
+              (fun (name, _) -> (name, Hashtbl.find w.w_frame.Interp.locals name))
+              ctx.reg_ops })
+      workers
+  in
+  let contribs = Checkpoint.extract ?pool:ctx.pool ~interval_start reqs in
+  List.iter2
+    (fun (w : Worker.t) (c : Checkpoint.contribution) ->
       let copy_cost =
         cm.c_checkpoint_base + (c.Checkpoint.pages_touched * cm.c_checkpoint_page)
       in
       w.w_clock <- w.w_clock + copy_cost;
-      stats.cyc_checkpoint <- stats.cyc_checkpoint + copy_cost;
-      c)
-    workers
+      stats.cyc_checkpoint <- stats.cyc_checkpoint + copy_cost)
+    workers contribs;
+  contribs
+
+(* Phase-2 validation + last-writer-wins merge through the cohort's
+   carried index. *)
+let merge ctx contribs = Checkpoint.merge ~state:ctx.merge_state contribs
 
 (* Commit a cleanly merged interval [lo, hi) into the main process.
    Returns the simulated time at which the checkpoint retires. *)

@@ -22,6 +22,11 @@ open Privateer_runtime
 
 type config = {
   workers : int;
+  host_domains : int;
+      (* host-side parallelism: checkpoint extraction fans out over a
+         pool of this many OCaml domains.  1 (the default) keeps the
+         fully sequential reference path.  Host-only: simulated cycles
+         and all committed state are byte-identical at any setting. *)
   schedule : Schedule.t; (* iteration-assignment policy *)
   checkpoint_period : int option; (* None: auto (aim ~6 per invocation) *)
   adaptive_period : bool;
@@ -41,15 +46,26 @@ type config = {
          execution bottleneck"). *)
 }
 
+(* The PRIVATEER_HOST_DOMAINS environment variable sets the default
+   host parallelism, so an unmodified test or bench run can exercise
+   the domain-parallel extraction path (CI runs the suite once with
+   it forced to 4). *)
+let default_host_domains =
+  match Sys.getenv_opt "PRIVATEER_HOST_DOMAINS" with
+  | Some s -> ( try max 1 (min 64 (int_of_string (String.trim s))) with Failure _ -> 1)
+  | None -> 1
+
 let default_config =
-  { workers = 4; schedule = Schedule.Cyclic; checkpoint_period = None;
-    adaptive_period = false; throttle = None; costs = Cost_model.default;
-    inject = None; validate = true; serial_commit = false }
+  { workers = 4; host_domains = default_host_domains; schedule = Schedule.Cyclic;
+    checkpoint_period = None; adaptive_period = false; throttle = None;
+    costs = Cost_model.default; inject = None; validate = true; serial_commit = false }
 
 type t = {
   manifest : Manifest.t;
   config : config;
   stats : Stats.t;
+  pool : Privateer_support.Domain_pool.t option;
+      (* host-domain pool when host_domains > 1 (shared process-wide) *)
   mutable fallbacks : int; (* invocations run sequentially (failed preheader) *)
   suspended : (Ast.node_id, unit) Hashtbl.t;
       (* loops whose speculation the throttle has suspended *)
@@ -62,6 +78,10 @@ let validate_config config =
   if config.workers <= 0 then
     invalid_arg
       (Printf.sprintf "Executor.create: workers must be > 0 (got %d)" config.workers);
+  if config.host_domains < 1 || config.host_domains > 64 then
+    invalid_arg
+      (Printf.sprintf "Executor.create: host_domains must be in [1, 64] (got %d)"
+         config.host_domains);
   (match config.checkpoint_period with
   | Some k when k <= 0 ->
     invalid_arg
@@ -77,7 +97,12 @@ let create manifest config =
   validate_config config;
   let stats = Stats.create () in
   stats.workers <- config.workers;
-  { manifest; config; stats; fallbacks = 0; suspended = Hashtbl.create 4 }
+  let pool =
+    if config.host_domains > 1 then
+      Some (Privateer_support.Domain_pool.shared ~domains:config.host_domains)
+    else None
+  in
+  { manifest; config; stats; pool; fallbacks = 0; suspended = Hashtbl.create 4 }
 
 let env t =
   { Worker.cm = t.config.costs; stats = t.stats; manifest = t.manifest;
@@ -166,7 +191,7 @@ let run_invocation t (st : Interp.t) fr (spec : Manifest.loop_spec) ~var ~init_v
       end
       else begin
         let ctx = Commit.make_ctx env st fr spec ~io ~emit_main
-            ~serial_commit:t.config.serial_commit
+            ~serial_commit:t.config.serial_commit ~pool:t.pool
         in
         let workers = Worker.spawn env st fr spec ctx.Commit.ranges nw ~now:!timeline in
         let rec interval_loop i0 =
@@ -194,7 +219,7 @@ let run_invocation t (st : Interp.t) fr (spec : Manifest.loop_spec) ~var ~init_v
             else Commit.collect ctx workers ~interval_start:i0
           in
           let merged =
-            if contributions = [] then None else Some (Checkpoint.merge contributions)
+            if contributions = [] then None else Some (Commit.merge ctx contributions)
           in
           let violation =
             match (!misspecs, merged) with

@@ -12,11 +12,20 @@
      any earlier point);
    - last-writer-wins combination of private bytes across workers by
      iteration number, yielding the overlay to commit onto the main
-     process's heaps. *)
+     process's heaps.
+
+   Host parallelism: the per-page extraction scans are independent —
+   every shadow page covers a disjoint range of private words — so
+   [extract] can fan them out over a [Domain_pool], per worker and per
+   page chunk.  Tasks only read the (quiescent) worker memories and
+   fill task-local tables; chunk results merge over disjoint key sets,
+   so the assembled contributions are byte-identical to the sequential
+   scan at any pool size. *)
 
 open Privateer_ir
 open Privateer_machine
 open Privateer_interp
+module Domain_pool = Privateer_support.Domain_pool
 
 type word_write = { iter : int; bits : int64; is_float : bool }
 
@@ -35,59 +44,84 @@ type contribution = {
   pages_touched : int; (* for checkpoint copy cost accounting *)
 }
 
-(* Extract a worker's interval contribution by scanning the shadow
-   pages it dirtied since the interval started.  [interval_start]
-   decodes shadow timestamps into iteration numbers.
-
-   The shadow bank's dirty index hands us exactly the candidate pages
-   (no filtering of the global dirty set); pages whose summary flags
-   show neither timestamps nor read-live-in marks are skipped without
-   a scan, and flagged pages are scanned word-wise directly on the
-   page bytes (an all-zero metadata word is all live-in). *)
-let contribution_of_worker ~worker ~interval_start (machine : Machine.t)
-    ~redux_ranges ~reg_partials =
-  let mem = machine.Machine.mem in
-  let writes = Hashtbl.create 256 in
-  let live_in_reads = Hashtbl.create 16 in
-  List.iter
-    (fun key ->
-      match Memory.find_page mem (Memory.base_of_page key) with
-      | None -> ()
-      | Some page ->
-        if Memory.any_timestamp page || Memory.any_live_in_read page then begin
-          let bytes = Memory.page_bytes page in
-          let base = Memory.base_of_page key in
-          let off = ref 0 in
-          while !off < Memory.page_size do
-            if Bytes.get_int64_le bytes !off = 0L then off := !off + 8
-            else begin
-              let fin = !off + 8 in
-              while !off < fin do
-                let m = Char.code (Bytes.unsafe_get bytes !off) in
-                if Shadow.is_timestamp m then begin
-                  let private_addr = Heap.private_of_shadow (base + !off) in
-                  let word_addr = private_addr land lnot 7 in
-                  let iter = Shadow.iteration_of_timestamp ~interval_start m in
-                  let keep =
-                    match Hashtbl.find_opt writes word_addr with
-                    | Some prev -> iter > prev.iter
-                    | None -> true
-                  in
-                  if keep then begin
-                    let bits, is_float = Memory.read_word mem word_addr in
-                    Hashtbl.replace writes word_addr { iter; bits; is_float }
-                  end
-                end
-                else if m = Shadow.read_live_in then
-                  Hashtbl.replace live_in_reads
-                    (Heap.private_of_shadow (base + !off))
-                    ();
-                incr off
-              done
+(* Scan one flagged shadow page into the given tables.  [interval_start]
+   decodes shadow timestamps into iteration numbers.  Pages whose
+   summary flags show neither timestamps nor read-live-in marks are
+   skipped without a scan; flagged pages are scanned word-wise directly
+   on the page bytes (an all-zero metadata word is all live-in). *)
+let scan_page ~interval_start mem key writes live_in_reads =
+  match Memory.find_page mem (Memory.base_of_page key) with
+  | None -> ()
+  | Some page ->
+    if Memory.any_timestamp page || Memory.any_live_in_read page then begin
+      let bytes = Memory.page_bytes page in
+      let base = Memory.base_of_page key in
+      let off = ref 0 in
+      while !off < Memory.page_size do
+        if Bytes.get_int64_le bytes !off = 0L then off := !off + 8
+        else begin
+          let fin = !off + 8 in
+          while !off < fin do
+            let m = Char.code (Bytes.unsafe_get bytes !off) in
+            if Shadow.is_timestamp m then begin
+              let private_addr = Heap.private_of_shadow (base + !off) in
+              let word_addr = private_addr land lnot 7 in
+              let iter = Shadow.iteration_of_timestamp ~interval_start m in
+              let keep =
+                match Hashtbl.find_opt writes word_addr with
+                | Some prev -> iter > prev.iter
+                | None -> true
+              in
+              if keep then begin
+                let bits, is_float = Memory.read_word mem word_addr in
+                Hashtbl.replace writes word_addr { iter; bits; is_float }
+              end
             end
+            else if m = Shadow.read_live_in then
+              Hashtbl.replace live_in_reads
+                (Heap.private_of_shadow (base + !off))
+                ();
+            incr off
           done
-        end)
-    (Memory.dirty_pages ~heap:Heap.Shadow mem);
+        end
+      done
+    end
+
+(* Split [keys] into at most [n] contiguous chunks, preserving order
+   (so each chunk replays the sequential scan order of its pages). *)
+let chunk_keys n keys =
+  let len = List.length keys in
+  if len = 0 then []
+  else begin
+    let n = max 1 (min n len) in
+    let per = (len + n - 1) / n in
+    let rec take k acc = function
+      | [] -> (List.rev acc, [])
+      | l when k = 0 -> (List.rev acc, l)
+      | x :: tl -> take (k - 1) (x :: acc) tl
+    in
+    let rec split = function
+      | [] -> []
+      | l ->
+        let chunk, rest = take per [] l in
+        chunk :: split rest
+    in
+    split keys
+  end
+
+type extract_request = {
+  req_worker : int;
+  req_machine : Machine.t;
+  req_redux_ranges : (int * int * Privateer_ir.Ast.binop) list;
+  req_reg_partials : (string * Value.t) list;
+}
+
+(* The sequential-or-parallel page scans of one request, as (writes,
+   live-in) tables.  Word addresses from distinct shadow pages are
+   disjoint, so merging per-chunk tables key-by-key reproduces the
+   sequential tables exactly. *)
+let finish_request req (writes, live_in_reads) =
+  let mem = req.req_machine.Machine.mem in
   let redux_words =
     List.concat_map
       (fun (base, size, _op) ->
@@ -96,10 +130,81 @@ let contribution_of_worker ~worker ~interval_start (machine : Machine.t)
             let addr = base + (8 * w) in
             let bits, is_float = Memory.read_word mem addr in
             (addr, bits, is_float)))
-      redux_ranges
+      req.req_redux_ranges
   in
-  { worker; writes; live_in_reads; redux_words; reg_partials;
-    pages_touched = Memory.dirty_count mem }
+  { worker = req.req_worker; writes; live_in_reads; redux_words;
+    reg_partials = req.req_reg_partials; pages_touched = Memory.dirty_count mem }
+
+let scan_sequential ~interval_start mem keys =
+  let writes = Hashtbl.create 256 in
+  let live_in_reads = Hashtbl.create 16 in
+  List.iter (fun key -> scan_page ~interval_start mem key writes live_in_reads) keys;
+  (writes, live_in_reads)
+
+(* Extract every worker's interval contribution.  With a pool of size
+   > 1 the page scans fan out as one flat task list over (worker, page
+   chunk); without one (or when there is nothing to scan in parallel)
+   the scan runs sequentially — the reference path. *)
+let extract ?pool ~interval_start (reqs : extract_request list) =
+  let keyed =
+    List.map
+      (fun req ->
+        (req, Memory.dirty_pages ~heap:Heap.Shadow req.req_machine.Machine.mem))
+      reqs
+  in
+  let pool_size = match pool with Some p -> Domain_pool.size p | None -> 1 in
+  let total_pages = List.fold_left (fun acc (_, ks) -> acc + List.length ks) 0 keyed in
+  match pool with
+  | Some pool when pool_size > 1 && total_pages > 1 ->
+    (* One flat task list: each task scans one chunk of one worker's
+       dirty pages into task-local tables. *)
+    let jobs =
+      List.concat_map
+        (fun (req, keys) ->
+          let mem = req.req_machine.Machine.mem in
+          List.map
+            (fun chunk -> (req.req_worker, fun () ->
+                 let writes = Hashtbl.create 64 in
+                 let live_in_reads = Hashtbl.create 16 in
+                 List.iter
+                   (fun key -> scan_page ~interval_start mem key writes live_in_reads)
+                   chunk;
+                 (writes, live_in_reads)))
+            (chunk_keys pool_size keys))
+        keyed
+    in
+    let parts = List.combine (List.map fst jobs) (Domain_pool.run pool (List.map snd jobs)) in
+    List.map
+      (fun (req, _) ->
+        let writes = Hashtbl.create 256 in
+        let live_in_reads = Hashtbl.create 16 in
+        List.iter
+          (fun (w, (pw, pl)) ->
+            if w = req.req_worker then begin
+              Hashtbl.iter (Hashtbl.replace writes) pw;
+              Hashtbl.iter (Hashtbl.replace live_in_reads) pl
+            end)
+          parts;
+        finish_request req (writes, live_in_reads))
+      keyed
+  | Some _ | None ->
+    List.map
+      (fun (req, keys) ->
+        finish_request req
+          (scan_sequential ~interval_start req.req_machine.Machine.mem keys))
+      keyed
+
+(* Extract a single worker's contribution (the historical entry point;
+   [extract] is the batched, poolable form). *)
+let contribution_of_worker ?pool ~worker ~interval_start (machine : Machine.t)
+    ~redux_ranges ~reg_partials =
+  match
+    extract ?pool ~interval_start
+      [ { req_worker = worker; req_machine = machine;
+          req_redux_ranges = redux_ranges; req_reg_partials = reg_partials } ]
+  with
+  | [ c ] -> c
+  | _ -> assert false
 
 type merged = {
   (* word address -> the interval's winning (latest-iteration) write *)
@@ -111,48 +216,97 @@ type merged = {
   total_pages : int;
 }
 
+(* The word -> writer index carried across a worker cohort's intervals.
+   Contributions are per-interval deltas (extraction visits only pages
+   dirtied since the last checkpoint), so the index holds exactly one
+   interval's entries while a merge is validating and is swept back to
+   empty before the merge returns: the table (and its grown bucket
+   array) persists, the content is per-interval.  [ms_index_ops] counts
+   every insert/update/remove so tests can assert that clean intervals
+   do no index work at all. *)
+type merge_state = {
+  ms_writers : (int, int) Hashtbl.t; (* word -> sole writer, or -1 *)
+  mutable ms_index_ops : int;
+}
+
+let create_merge_state () = { ms_writers = Hashtbl.create 1024; ms_index_ops = 0 }
+
+let index_ops state = state.ms_index_ops
+
 (* Phase-2 validation + last-writer-wins merge.
 
-   The merge pass that builds the overlay also builds a per-word
+   The merge pass that builds the overlay also fills the per-word
    writer index ([-1] = more than one distinct worker), so phase 2 is
    a single O(1) lookup per live-in byte instead of a scan over every
    writer's contribution — O(live-in bytes) total where the old
-   nested-list pass was O(readers x live-in bytes x writers). *)
-let merge (contribs : contribution list) =
-  let overlay = Hashtbl.create 1024 in
-  let writers = Hashtbl.create 1024 in (* word -> sole writer, or -1 *)
+   nested-list pass was O(readers x live-in bytes x writers).
+
+   With [?state], the index table is the carried one: merge cost is
+   proportional to this interval's entries (insert the delta, sweep it
+   out again), and an interval with no new writes short-circuits both
+   the index fill and the phase-2 scan outright — no allocation, no
+   hashing, no read iteration.  Verdicts are identical either way; the
+   reported violation is pinned to the smallest conflicting byte
+   address so it cannot depend on hash-table iteration order (and
+   therefore not on the extraction pool size). *)
+let merge ?state (contribs : contribution list) =
+  let st = match state with Some s -> s | None -> create_merge_state () in
+  let writers = st.ms_writers in
+  let have_writes =
+    List.exists (fun c -> Hashtbl.length c.writes > 0) contribs
+  in
+  let overlay = Hashtbl.create (if have_writes then 1024 else 1) in
   let violation = ref None in
-  (* Last-writer-wins across workers; record who wrote each word. *)
-  List.iter
-    (fun c ->
-      Hashtbl.iter
-        (fun addr (w : word_write) ->
-          (match Hashtbl.find_opt writers addr with
-          | None -> Hashtbl.replace writers addr c.worker
-          | Some id when id = c.worker || id = -1 -> ()
-          | Some _ -> Hashtbl.replace writers addr (-1));
-          match Hashtbl.find_opt overlay addr with
-          | Some prev when prev.iter >= w.iter -> ()
-          | Some _ | None -> Hashtbl.replace overlay addr w)
-        c.writes)
-    contribs;
-  (* Phase 2: a live-in read by worker w conflicts with any write to
-     the same byte by a different worker (conservative: regardless of
-     iteration order, as in the paper's one-byte-metadata design). *)
-  List.iter
-    (fun reader ->
-      if !violation = None then
+  if have_writes then begin
+    let inserted = ref [] in
+    (* Last-writer-wins across workers; record who wrote each word. *)
+    List.iter
+      (fun c ->
+        Hashtbl.iter
+          (fun addr (w : word_write) ->
+            (match Hashtbl.find_opt writers addr with
+            | None ->
+              Hashtbl.replace writers addr c.worker;
+              inserted := addr :: !inserted;
+              st.ms_index_ops <- st.ms_index_ops + 1
+            | Some id when id = c.worker || id = -1 -> ()
+            | Some _ ->
+              Hashtbl.replace writers addr (-1);
+              st.ms_index_ops <- st.ms_index_ops + 1);
+            match Hashtbl.find_opt overlay addr with
+            | Some prev when prev.iter >= w.iter -> ()
+            | Some _ | None -> Hashtbl.replace overlay addr w)
+          c.writes)
+      contribs;
+    (* Phase 2: a live-in read by worker w conflicts with any write to
+       the same byte by a different worker (conservative: regardless of
+       iteration order, as in the paper's one-byte-metadata design).
+       The smallest conflicting byte address is reported. *)
+    List.iter
+      (fun reader ->
         Hashtbl.iter
           (fun addr () ->
-            if !violation = None then
-              match Hashtbl.find_opt writers (addr land lnot 7) with
-              | Some id when id <> reader.worker ->
-                violation := Some (Misspec.Phase2 { addr })
-              | Some _ | None -> ())
+            match Hashtbl.find_opt writers (addr land lnot 7) with
+            | Some id when id <> reader.worker -> (
+              match !violation with
+              | Some a when a <= addr -> ()
+              | Some _ | None -> violation := Some addr)
+            | Some _ | None -> ())
           reader.live_in_reads)
-    contribs;
+      contribs;
+    (* Sweep this interval's delta back out so the carried index is
+       empty again (content is per-interval; only the allocation is
+       carried). *)
+    List.iter
+      (fun addr ->
+        Hashtbl.remove writers addr;
+        st.ms_index_ops <- st.ms_index_ops + 1)
+      !inserted
+  end;
   let total_pages = List.fold_left (fun acc c -> acc + c.pages_touched) 0 contribs in
-  { overlay; contributions = contribs; violation = !violation; total_pages }
+  { overlay; contributions = contribs;
+    violation = Option.map (fun addr -> Misspec.Phase2 { addr }) !violation;
+    total_pages }
 
 (* Install a merged overlay into the main process's memory (the
    paper's "replaces its heaps with those from the last valid

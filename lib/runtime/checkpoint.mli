@@ -4,27 +4,70 @@
     Per interval, each worker contributes its speculative state; the
     merge validates cross-worker live-in reads (phase 2), combines
     private writes last-writer-wins by iteration, and folds reduction
-    partials over pre-spawn base values. *)
+    partials over pre-spawn base values.
+
+    Extraction is the host-parallel stage of the runtime: every shadow
+    page covers a disjoint range of private words, so the per-page
+    scans fan out over a {!Privateer_support.Domain_pool} (per worker
+    and per page chunk) and reassemble into contributions that are
+    byte-identical to the sequential scan.  Merging carries its
+    word→writer index across intervals ({!merge_state}) so per-interval
+    merge cost is proportional to that interval's new entries — zero
+    for a clean interval — instead of re-allocating and re-filling the
+    index each time. *)
 
 open Privateer_interp
 
+(** One committed-candidate write: the winning iteration plus the
+    word's bits and float tag as read from the worker's memory. *)
 type word_write = { iter : int; bits : int64; is_float : bool }
 
+(** One worker's interval state, as extracted from its dirty shadow
+    pages. *)
 type contribution = {
-  worker : int;
-  writes : (int, word_write) Hashtbl.t; (* private word address -> last write *)
-  live_in_reads : (int, unit) Hashtbl.t; (* byte addresses read as live-in *)
-  redux_words : (int * int64 * bool) list; (* reduction partial snapshot *)
-  reg_partials : (string * Value.t) list; (* register-reduction partials *)
-  pages_touched : int; (* for copy-cost accounting *)
+  worker : int;  (** the contributing worker's id *)
+  writes : (int, word_write) Hashtbl.t;
+      (** private word address → last write this interval *)
+  live_in_reads : (int, unit) Hashtbl.t;
+      (** byte addresses read as live-in (metadata 2) *)
+  redux_words : (int * int64 * bool) list;
+      (** reduction partial snapshot: (address, bits, float tag) *)
+  reg_partials : (string * Value.t) list;
+      (** register-reduction partials *)
+  pages_touched : int;  (** for simulated copy-cost accounting *)
 }
 
-(** Extract a worker's interval contribution by scanning the shadow
-    pages it dirtied since the interval started (straight off the
-    shadow bank's dirty index; pages without timestamp/read-live-in
-    summary flags are skipped); shadow timestamps decode into
-    iteration numbers relative to [interval_start]. *)
+(** What [extract] needs from one worker: its id, its machine, the
+    reduction-heap ranges to snapshot and the register partials read
+    from its frame. *)
+type extract_request = {
+  req_worker : int;
+  req_machine : Privateer_machine.Machine.t;
+  req_redux_ranges : (int * int * Privateer_ir.Ast.binop) list;
+  req_reg_partials : (string * Value.t) list;
+}
+
+(** Extract every worker's interval contribution by scanning the
+    shadow pages each worker dirtied since the interval started
+    (straight off the shadow bank's dirty index; pages without
+    timestamp/read-live-in summary flags are skipped).  Shadow
+    timestamps decode into iteration numbers relative to
+    [interval_start].
+
+    With [?pool] (of size > 1), the page scans run as one flat task
+    list over (worker, page-chunk) pairs on the pool's domains; the
+    result is byte-identical to the sequential path, which remains the
+    default and the correctness oracle. *)
+val extract :
+  ?pool:Privateer_support.Domain_pool.t ->
+  interval_start:int ->
+  extract_request list ->
+  contribution list
+
+(** Single-worker [extract] — the historical entry point, kept for
+    benches and tests. *)
 val contribution_of_worker :
+  ?pool:Privateer_support.Domain_pool.t ->
   worker:int ->
   interval_start:int ->
   Privateer_machine.Machine.t ->
@@ -32,17 +75,43 @@ val contribution_of_worker :
   reg_partials:(string * Value.t) list ->
   contribution
 
+(** A validated, merged checkpoint interval. *)
 type merged = {
-  overlay : (int, word_write) Hashtbl.t; (* winning writes per word *)
+  overlay : (int, word_write) Hashtbl.t;
+      (** winning (latest-iteration) write per word *)
   contributions : contribution list;
-  violation : Misspec.reason option; (* phase-2 conflict, if any *)
-  total_pages : int;
+      (** kept for recovery and the final commit *)
+  violation : Misspec.reason option;
+      (** phase-2 conflict, if any — pinned to the smallest
+          conflicting byte address, so it is deterministic across pool
+          sizes *)
+  total_pages : int;  (** summed page-copy charge across workers *)
 }
+
+(** The word→writer index carried across one worker cohort's
+    intervals.  Because contributions are per-interval deltas, the
+    index holds one interval's entries during a merge and is swept
+    back to empty before the merge returns: the allocation persists,
+    the content is per-interval, and a clean interval (no new writes)
+    does no index work at all. *)
+type merge_state
+
+(** A fresh carried index (one per worker cohort / spawn). *)
+val create_merge_state : unit -> merge_state
+
+(** Total index mutations (inserts, multi-writer updates, removals)
+    performed through this state — the observable for the
+    no-work-on-clean-intervals regression test. *)
+val index_ops : merge_state -> int
 
 (** Phase-2 validation plus last-writer-wins merge.  Phase 2 is one
     per-word writer-index lookup per live-in byte (O(live-in bytes)),
-    not a scan over every writer's contribution. *)
-val merge : contribution list -> merged
+    not a scan over every writer's contribution.  Passing [?state]
+    reuses the carried index (cost proportional to this interval's
+    entries; an interval with no new writes short-circuits index fill
+    and phase-2 scan entirely); omitting it builds a fresh ephemeral
+    index with identical semantics. *)
+val merge : ?state:merge_state -> contribution list -> merged
 
 (** Install a merged overlay into the main process's memory. *)
 val apply_overlay : Privateer_machine.Machine.t -> merged -> unit

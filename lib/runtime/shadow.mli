@@ -10,9 +10,17 @@
        [i0] starts the current checkpoint interval.}} *)
 
 val live_in : int
+(** Code [0]: untouched this invocation. *)
+
 val old_write : int
+(** Code [1]: written before the last checkpoint. *)
+
 val read_live_in : int
+(** Code [2]: read before any write this invocation — a phase-2
+    obligation. *)
+
 val first_timestamp : int
+(** Code [3]: the timestamp of the interval's first iteration. *)
 
 (** Maximum iterations per checkpoint interval (253) so timestamps fit
     one byte — the paper's "at least every 253 iterations". *)
@@ -23,11 +31,14 @@ val max_interval : int
 val timestamp : iter:int -> interval_start:int -> int
 
 val is_timestamp : int -> bool
+(** Whether a metadata byte encodes a write timestamp
+    ([first_timestamp] or above). *)
 
 (** Inverse of [timestamp].
     @raise Invalid_argument if the byte is not a timestamp. *)
 val iteration_of_timestamp : interval_start:int -> int -> int
 
+(** The two private-access kinds Table 2 distinguishes. *)
 type op = Read | Write
 
 type verdict =

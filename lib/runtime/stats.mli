@@ -7,18 +7,25 @@
 type loop_stats = {
   mutable l_invocations : int;
   mutable l_misspeculations : int;
-  mutable l_wall_cycles : int; (* wall time of this loop's parallel invocations *)
-  mutable l_demotions : int; (* invocations demoted mid-flight by the throttle *)
-  mutable l_suspended_invocations : int; (* invocations run sequentially while suspended *)
+  mutable l_wall_cycles : int;
+      (** wall time of this loop's parallel invocations *)
+  mutable l_demotions : int;
+      (** invocations demoted mid-flight by the throttle *)
+  mutable l_suspended_invocations : int;
+      (** invocations run sequentially while suspended *)
 }
 
+(** Whole-run counters.  Every field is part of the deterministic
+    simulation — none may vary with host parallelism
+    ([Executor.config.host_domains]), a property the host-parallel
+    test suite asserts. *)
 type t = {
   mutable invocations : int;
   mutable checkpoints : int;
   mutable private_bytes_read : int;
   mutable private_bytes_written : int;
-  mutable separation_checks : int; (* dynamic, non-elided *)
-  mutable separation_checks_elided : int; (* static count *)
+  mutable separation_checks : int;  (** dynamic, non-elided *)
+  mutable separation_checks_elided : int;  (** static count *)
   mutable misspeculations : int;
   mutable recovered_iterations : int;
   mutable iterations : int;
@@ -30,12 +37,13 @@ type t = {
   mutable cyc_spawn : int;
   mutable cyc_join : int;
   mutable cyc_recovery : int;
-  mutable wall_cycles : int; (* sum over parallel invocations *)
+  mutable wall_cycles : int;  (** sum over parallel invocations *)
   mutable workers : int;
   loops : (int, loop_stats) Hashtbl.t;
 }
 
 val create : unit -> t
+(** A zeroed counter set. *)
 
 (** The per-loop entry for an IR loop id, created on first use. *)
 val loop_stats : t -> int -> loop_stats
@@ -53,7 +61,7 @@ type breakdown = {
   private_write : float;
   checkpoint : float;
   spawn_join : float;
-  other : float; (* residual: elided-check costs, rounding *)
+  other : float;  (** residual: elided-check costs, rounding *)
 }
 
 (** Percentages of capacity; sums to ~100 for misspeculation-free

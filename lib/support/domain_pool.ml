@@ -1,0 +1,123 @@
+(* A small fixed pool of OCaml 5 domains.
+
+   Plain mutex/condition work queue: [run] pushes its tasks, the
+   calling domain drains the queue alongside the workers, then waits
+   for the last in-flight task.  Per-run completion state lives in the
+   run's closure (fresh condition per call), so a pool object can be
+   reused by successive runs without carry-over; the one mutex guards
+   both the queue and every run's completion counter.
+
+   Determinism contract: tasks receive no ordering or placement
+   guarantees, so callers must make task results independent of
+   execution order; [run] re-assembles them in task order. *)
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let size t = t.size
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  let rec next () =
+    if t.stopping then None
+    else
+      match Queue.take_opt t.queue with
+      | Some task -> Some task
+      | None ->
+        Condition.wait t.work_ready t.mutex;
+        next ()
+  in
+  match next () with
+  | None -> Mutex.unlock t.mutex
+  | Some task ->
+    Mutex.unlock t.mutex;
+    task ();
+    worker_loop t
+
+let create ~domains =
+  if domains < 1 || domains > 64 then
+    invalid_arg
+      (Printf.sprintf "Domain_pool.create: domains must be in [1, 64] (got %d)" domains);
+  let t =
+    { size = domains; mutex = Mutex.create (); work_ready = Condition.create ();
+      queue = Queue.create (); stopping = false; workers = [] }
+  in
+  t.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let ws = t.workers in
+  t.workers <- [];
+  t.stopping <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join ws
+
+(* One result slot per task; exceptions are captured and the first (in
+   task order) re-raised by the caller once everything settled. *)
+let run t tasks =
+  match tasks with
+  | [] -> []
+  | [ f ] -> [ f () ]
+  | tasks when t.size <= 1 || t.stopping -> List.map (fun f -> f ()) tasks
+  | tasks ->
+    let tasks = Array.of_list tasks in
+    let n = Array.length tasks in
+    let results = Array.make n None in
+    let pending = ref n in
+    let all_done = Condition.create () in
+    let wrap i f () =
+      let r = try Ok (f ()) with e -> Error e in
+      Mutex.lock t.mutex;
+      results.(i) <- Some r;
+      decr pending;
+      if !pending = 0 then Condition.broadcast all_done;
+      Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    Array.iteri (fun i f -> Queue.push (wrap i f) t.queue) tasks;
+    Condition.broadcast t.work_ready;
+    (* The calling domain helps drain the queue, then waits for the
+       tasks other domains still have in flight. *)
+    let rec help () =
+      match Queue.take_opt t.queue with
+      | Some task ->
+        Mutex.unlock t.mutex;
+        task ();
+        Mutex.lock t.mutex;
+        help ()
+      | None -> ()
+    in
+    help ();
+    while !pending > 0 do
+      Condition.wait all_done t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    Array.to_list
+      (Array.map
+         (function
+           | Some (Ok v) -> v
+           | Some (Error e) -> raise e
+           | None -> assert false)
+         results)
+
+(* ---- process-wide shared pool ----------------------------------------- *)
+
+let shared_pool : t option ref = ref None
+
+let shared ~domains =
+  let domains = max 1 domains in
+  match !shared_pool with
+  | Some p when p.size >= domains && not p.stopping -> p
+  | prev ->
+    Option.iter shutdown prev;
+    let p = create ~domains in
+    shared_pool := Some p;
+    p

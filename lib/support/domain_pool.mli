@@ -1,0 +1,48 @@
+(** A small fixed pool of OCaml 5 domains for host-side parallelism.
+
+    The simulated runtime is deterministic and single-threaded; the
+    pool exists so that {e host} work whose result is order-independent
+    — checkpoint extraction scans over disjoint shadow pages, above
+    all — can fan out over the machine's cores without perturbing any
+    simulated state.  Consumers must uphold two rules: {ul
+    {- tasks only {e read} shared structures (or write task-local
+       ones) — the pool adds no locking around user data;}
+    {- tasks never call back into the pool ([run] does not nest).}}
+
+    A pool of size 1 (or an empty/singleton task list) degrades to
+    plain sequential execution in the calling domain, with no domains
+    spawned and no synchronization — the sequential path stays the
+    reference semantics.  Results are always returned in task order,
+    so a correct task set produces byte-identical results at every
+    pool size. *)
+
+type t
+
+(** [create ~domains] makes a pool of total parallelism [domains]: the
+    calling domain participates in [run], so [domains - 1] worker
+    domains are spawned.  [domains <= 1] spawns nothing.
+    @raise Invalid_argument if [domains < 1] or [domains > 64]. *)
+val create : domains:int -> t
+
+(** Total parallelism of the pool (including the calling domain). *)
+val size : t -> int
+
+(** [run t tasks] executes every task, using the pool's worker domains
+    and the calling domain, and returns the results in task order.
+    Blocks until all tasks finish.  If a task raises, the first raised
+    exception (in task order) is re-raised after all tasks have
+    settled.  After [shutdown] the tasks still run, sequentially in
+    the calling domain. *)
+val run : t -> (unit -> 'a) list -> 'a list
+
+(** Stop and join the worker domains.  Idempotent.  Subsequent [run]s
+    fall back to sequential execution. *)
+val shutdown : t -> unit
+
+(** [shared ~domains] returns a process-wide pool of at least
+    [domains] total parallelism, creating or growing it on demand (the
+    previous smaller pool is shut down).  Repeated executors share
+    this pool instead of spawning domains per run — OCaml caps live
+    domains at a small fixed number, so per-invocation pools would
+    exhaust it. *)
+val shared : domains:int -> t

@@ -1,0 +1,272 @@
+(* Host-parallel checkpoint extraction and the incremental phase-2
+   merge: the sequential path is the correctness oracle.
+
+   - qcheck: extraction over a domain pool is byte-identical to the
+     sequential scan, on random multi-page shadow states;
+   - qcheck: merging through a carried [merge_state] gives the same
+     overlay/violation/pages as rebuilding the index per interval,
+     over random multi-interval sequences;
+   - regression: a clean interval (no new writes) does zero index
+     work, and a writing interval sweeps its delta back out;
+   - qcheck: the full pipeline is byte-identical at host_domains 3
+     vs 1 (output, result, simulated cycles);
+   - unit tests for the Domain_pool itself (ordering, exceptions,
+     sequential fallback after shutdown). *)
+
+open Privateer_ir
+open Privateer_machine
+open Privateer_runtime
+module Domain_pool = Privateer_support.Domain_pool
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* The pool under test.  [shared] so a PRIVATEER_HOST_DOMAINS >= 3 run
+   reuses the executor's pool rather than replacing it. *)
+let pool = lazy (Domain_pool.shared ~domains:3)
+
+(* ---- random shadow states ---------------------------------------------- *)
+
+(* One op: (page, word, kind, iter, value); kind 0-2 writes a word,
+   3 reads 1-8 bytes as live-in.  Illegal sequences (e.g. a write over
+   a live-in mark) raise Misspeculation and are simply skipped — the
+   surviving shadow state is still a valid worker interval state. *)
+let op_gen =
+  QCheck.Gen.(
+    int_bound 15 >>= fun page ->
+    int_bound 511 >>= fun word ->
+    int_bound 3 >>= fun kind ->
+    int_bound 20 >>= fun iter ->
+    map (fun value -> (page, word, kind, iter, value)) (int_bound 1000))
+
+let ops_print ops = string_of_int (List.length ops) ^ " ops"
+
+let worker_ops_arb =
+  QCheck.make
+    ~print:(fun ws ->
+      String.concat "+" (List.map ops_print ws) ^ " across workers")
+    QCheck.Gen.(list_size (int_range 1 4) (list_size (int_bound 120) op_gen))
+
+let build_machine ~interval_start ops =
+  let m = Machine.create () in
+  Memory.clear_dirty m.Machine.mem;
+  List.iter
+    (fun (page, word, kind, iter, value) ->
+      let addr = Heap.base Heap.Private + (page * Memory.page_size) + (word * 8) in
+      let beta = Shadow.timestamp ~iter ~interval_start in
+      try
+        if kind < 3 then begin
+          Shadow.access m Shadow.Write ~addr ~size:8 ~beta;
+          Machine.set_int m addr value
+        end
+        else Shadow.access m Shadow.Read ~addr ~size:(1 + (value mod 8)) ~beta
+      with Misspec.Misspeculation _ -> ())
+    ops;
+  m
+
+let reqs_of ~interval_start workerses =
+  List.mapi
+    (fun i ops ->
+      { Checkpoint.req_worker = i;
+        req_machine = build_machine ~interval_start ops;
+        req_redux_ranges = []; req_reg_partials = [] })
+    workerses
+
+(* ---- extraction equality ------------------------------------------------ *)
+
+let tbl_equal a b =
+  Hashtbl.length a = Hashtbl.length b
+  && Hashtbl.fold (fun k v acc -> acc && Hashtbl.find_opt b k = Some v) a true
+
+let contribution_equal (a : Checkpoint.contribution) (b : Checkpoint.contribution) =
+  a.worker = b.worker
+  && tbl_equal a.writes b.writes
+  && tbl_equal a.live_in_reads b.live_in_reads
+  && a.redux_words = b.redux_words
+  && a.reg_partials = b.reg_partials
+  && a.pages_touched = b.pages_touched
+
+let prop_parallel_extraction_equals_sequential workerses =
+  let reqs = reqs_of ~interval_start:0 workerses in
+  let seq = Checkpoint.extract ~interval_start:0 reqs in
+  let par = Checkpoint.extract ~pool:(Lazy.force pool) ~interval_start:0 reqs in
+  List.length seq = List.length par && List.for_all2 contribution_equal seq par
+
+(* ---- incremental merge equality ----------------------------------------- *)
+
+let merged_equal (a : Checkpoint.merged) (b : Checkpoint.merged) =
+  tbl_equal a.overlay b.overlay
+  && a.violation = b.violation
+  && a.total_pages = b.total_pages
+
+let intervals_arb =
+  QCheck.make
+    ~print:(fun is -> string_of_int (List.length is) ^ " intervals")
+    QCheck.Gen.(
+      list_size (int_range 1 5)
+        (list_size (int_range 1 3) (list_size (int_bound 60) op_gen)))
+
+let prop_incremental_merge_equals_rebuilt intervals =
+  let state = Checkpoint.create_merge_state () in
+  List.for_all
+    (fun workerses ->
+      (* Fresh machines per interval: contributions are per-interval
+         deltas by construction, exactly as after a commit's
+         reset_interval + clear_dirty. *)
+      let contribs = Checkpoint.extract ~interval_start:0 (reqs_of ~interval_start:0 workerses) in
+      let incremental = Checkpoint.merge ~state contribs in
+      let rebuilt = Checkpoint.merge contribs in
+      merged_equal incremental rebuilt)
+    intervals
+
+(* ---- clean-interval short-circuit (regression) -------------------------- *)
+
+let reader_only worker addr =
+  let m = Machine.create () in
+  Memory.clear_dirty m.Machine.mem;
+  Shadow.access m Shadow.Read ~addr ~size:8 ~beta:3;
+  Checkpoint.contribution_of_worker ~worker ~interval_start:0 m ~redux_ranges:[]
+    ~reg_partials:[]
+
+let writer worker addr value iter =
+  let m = Machine.create () in
+  Memory.clear_dirty m.Machine.mem;
+  Shadow.access m Shadow.Write ~addr ~size:8
+    ~beta:(Shadow.timestamp ~iter ~interval_start:0);
+  Machine.set_int m addr value;
+  Checkpoint.contribution_of_worker ~worker ~interval_start:0 m ~redux_ranges:[]
+    ~reg_partials:[]
+
+let test_clean_interval_no_index_work () =
+  let base = Heap.base Heap.Private in
+  let state = Checkpoint.create_merge_state () in
+  (* Live-in reads but no writes: merge must not touch the index. *)
+  let m = Checkpoint.merge ~state [ reader_only 0 (base + 8); reader_only 1 (base + 64) ] in
+  check "clean interval: no violation" true (m.violation = None);
+  check_int "clean interval: zero index ops" 0 (Checkpoint.index_ops state);
+  check_int "clean interval: empty overlay" 0 (Hashtbl.length m.overlay)
+
+let test_writing_interval_sweeps_delta () =
+  let base = Heap.base Heap.Private in
+  let state = Checkpoint.create_merge_state () in
+  (* Interval 1: worker 1 writes base+8. *)
+  let m1 = Checkpoint.merge ~state [ writer 1 (base + 8) 42 0 ] in
+  check "interval 1 clean" true (m1.violation = None);
+  let ops_after_1 = Checkpoint.index_ops state in
+  check "writing interval does index work" true (ops_after_1 > 0);
+  (* Interval 2: worker 0 reads base+8 as live-in and worker 0 writes
+     elsewhere.  A stale index entry from interval 1 (worker 1 wrote
+     base+8) would flag a phase-2 conflict; the sweep must prevent
+     that. *)
+  let r =
+    let m = Machine.create () in
+    Memory.clear_dirty m.Machine.mem;
+    Shadow.access m Shadow.Read ~addr:(base + 8) ~size:8 ~beta:3;
+    Shadow.access m Shadow.Write ~addr:(base + 128) ~size:8
+      ~beta:(Shadow.timestamp ~iter:4 ~interval_start:0);
+    Machine.set_int m (base + 128) 7;
+    Checkpoint.contribution_of_worker ~worker:0 ~interval_start:0 m ~redux_ranges:[]
+      ~reg_partials:[]
+  in
+  let m2 = Checkpoint.merge ~state [ r ] in
+  check "no stale cross-interval conflict" true (m2.violation = None)
+
+let test_violation_reports_smallest_addr () =
+  let base = Heap.base Heap.Private in
+  (* Two distinct conflicts; the reported address must be the smaller
+     one regardless of hash-table iteration order. *)
+  let w =
+    let m = Machine.create () in
+    Memory.clear_dirty m.Machine.mem;
+    List.iter
+      (fun a ->
+        Shadow.access m Shadow.Write ~addr:a ~size:8
+          ~beta:(Shadow.timestamp ~iter:1 ~interval_start:0);
+        Machine.set_int m a 9)
+      [ base + 8; base + 4096 + 16 ];
+    Checkpoint.contribution_of_worker ~worker:1 ~interval_start:0 m ~redux_ranges:[]
+      ~reg_partials:[]
+  in
+  let r =
+    let m = Machine.create () in
+    Memory.clear_dirty m.Machine.mem;
+    Shadow.access m Shadow.Read ~addr:(base + 8) ~size:8 ~beta:3;
+    Shadow.access m Shadow.Read ~addr:(base + 4096 + 16) ~size:8 ~beta:3;
+    Checkpoint.contribution_of_worker ~worker:0 ~interval_start:0 m ~redux_ranges:[]
+      ~reg_partials:[]
+  in
+  match (Checkpoint.merge [ r; w ]).violation with
+  | Some (Misspec.Phase2 { addr }) -> check_int "smallest conflict" (base + 8) addr
+  | _ -> Alcotest.fail "expected a phase-2 violation"
+
+(* ---- full-pipeline equality --------------------------------------------- *)
+
+let prop_pipeline_identical_across_host_domains tmpls =
+  let src = Test_props.program_of_templates tmpls in
+  let program = Privateer.Pipeline.parse src in
+  let tr, _ = Privateer.Pipeline.compile program in
+  let run host_domains =
+    let config =
+      { Privateer_parallel.Executor.default_config with workers = 5; host_domains }
+    in
+    Privateer.Pipeline.run_parallel ~config tr
+  in
+  let a = run 1 and b = run 3 in
+  String.equal a.par_output b.par_output
+  && Privateer_interp.Value.equal a.par_result b.par_result
+  && a.par_cycles = b.par_cycles
+  && a.stats.checkpoints = b.stats.checkpoints
+  && a.stats.wall_cycles = b.stats.wall_cycles
+  && a.stats.private_bytes_read = b.stats.private_bytes_read
+  && a.stats.private_bytes_written = b.stats.private_bytes_written
+
+(* ---- the pool itself ---------------------------------------------------- *)
+
+let test_pool_ordering () =
+  let p = Lazy.force pool in
+  let results =
+    Domain_pool.run p (List.init 40 (fun i () -> i * i))
+  in
+  check "results in task order" true (results = List.init 40 (fun i -> i * i))
+
+let test_pool_exception () =
+  let p = Lazy.force pool in
+  check "task exception re-raised" true
+    (try
+       ignore (Domain_pool.run p [ (fun () -> 1); (fun () -> failwith "boom") ]);
+       false
+     with Failure msg -> msg = "boom");
+  (* The pool survives a failing run. *)
+  check "pool reusable after failure" true
+    (Domain_pool.run p [ (fun () -> 7); (fun () -> 8) ] = [ 7; 8 ])
+
+let test_pool_shutdown_fallback () =
+  let p = Domain_pool.create ~domains:2 in
+  Domain_pool.shutdown p;
+  check "sequential fallback after shutdown" true
+    (Domain_pool.run p (List.init 5 (fun i () -> i + 1)) = [ 1; 2; 3; 4; 5 ])
+
+let test_pool_size_validation () =
+  check "rejects 0 domains" true
+    (try ignore (Domain_pool.create ~domains:0); false with Invalid_argument _ -> true);
+  check "rejects 65 domains" true
+    (try ignore (Domain_pool.create ~domains:65); false with Invalid_argument _ -> true)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ QCheck.Test.make ~count:60 ~name:"parallel extraction = sequential scan"
+        worker_ops_arb prop_parallel_extraction_equals_sequential;
+      QCheck.Test.make ~count:60 ~name:"incremental merge = rebuilt index"
+        intervals_arb prop_incremental_merge_equals_rebuilt;
+      QCheck.Test.make ~count:15 ~name:"pipeline identical at host_domains 3 vs 1"
+        Test_props.body_arb prop_pipeline_identical_across_host_domains ]
+  @ [ Alcotest.test_case "clean interval: zero index ops" `Quick
+        test_clean_interval_no_index_work;
+      Alcotest.test_case "writing interval sweeps its delta" `Quick
+        test_writing_interval_sweeps_delta;
+      Alcotest.test_case "violation pinned to smallest address" `Quick
+        test_violation_reports_smallest_addr;
+      Alcotest.test_case "pool: task ordering" `Quick test_pool_ordering;
+      Alcotest.test_case "pool: exception propagation" `Quick test_pool_exception;
+      Alcotest.test_case "pool: shutdown fallback" `Quick test_pool_shutdown_fallback;
+      Alcotest.test_case "pool: size validation" `Quick test_pool_size_validation ]
