@@ -1,0 +1,211 @@
+(* The `interval_reset` experiment: host-time scaling of the shadow
+   interval reset over OCaml domains, and the pooled swap-and-zero
+   retirement of fully-timestamped pages.
+
+   Three measurements:
+
+   - reset wall time over 1/2/4/8 host domains on a fixed footprint
+     (24 fully-timestamped + 8 half-timestamped private shadow pages),
+     with the page pool disabled (every page scan-rewritten in place)
+     and with an unbounded pool (full pages retired by pointer swap,
+     retired buffers refilled by memset and recycled next interval).
+     As in `host_parallel`, the curve depends on the cores the host
+     actually has — `host_cores` is recorded next to the numbers so a
+     1-core CI container's flat curve is not mistaken for a regression;
+   - rewrite vs swap on the same footprint at one domain: the pool's
+     win is algorithmic (memset refill beats the word-wise
+     read-check-write scan), so it must show even without domain
+     parallelism.  Steady-state pool stats (swaps/recycled/high water)
+     are reported alongside;
+   - simulated-cycle identity: dijkstra across host_domains {1, 3} x
+     pool cap {0, unbounded} must report byte-identical output and the
+     same wall/parallel cycles and checkpoint count — neither host
+     knob is allowed to move the cycle model.
+
+   Results go to BENCH_interval_reset.json; iteration counts scale
+   down via INTERVAL_RESET_ITERS (CI smoke runs use a small value). *)
+
+open Privateer_ir
+open Privateer_machine
+open Privateer_runtime
+open Privateer_support
+
+let iters () =
+  match Sys.getenv_opt "INTERVAL_RESET_ITERS" with
+  | Some s -> (try max 1 (int_of_string s) with Failure _ -> 40)
+  | None -> 40
+
+let time_ns = Overhead.time_ns
+
+(* ---- the interval footprint --------------------------------------------- *)
+
+let full_pages = 24
+let partial_pages = 8
+
+(* A machine whose private shadow bank holds [full_pages] pages of
+   wall-to-wall timestamps (swap candidates) and [partial_pages] pages
+   stamped only on their first half (scan-rewritten regardless of the
+   pool).  beta = 5 puts every mark at or above [first_timestamp]. *)
+let footprint () =
+  let m = Machine.create () in
+  Memory.clear_dirty m.Machine.mem;
+  for p = 0 to full_pages - 1 do
+    let base = Heap.base Heap.Private + (p * Memory.page_size) in
+    for i = 0 to (Memory.page_size / 8) - 1 do
+      Shadow.access m Shadow.Write ~addr:(base + (i * 8)) ~size:8 ~beta:5
+    done
+  done;
+  for p = full_pages to full_pages + partial_pages - 1 do
+    let base = Heap.base Heap.Private + (p * Memory.page_size) in
+    for i = 0 to (Memory.page_size / 16) - 1 do
+      Shadow.access m Shadow.Write ~addr:(base + (i * 8)) ~size:8 ~beta:5
+    done
+  done;
+  m
+
+let fresh_pool () = Page_pool.create ~fill:(Char.chr Shadow.old_write) ()
+
+(* ns per full reset of the footprint.  The footprint is consumed by
+   each reset, so `prep` rebuilds it outside the timed section; the
+   page pool (when present) persists across rounds, so after the
+   warmup mints its buffers every timed round runs at steady state,
+   swapping in recycled pages. *)
+let bench_reset ?page_pool domains =
+  let rounds = iters () in
+  let machine = ref (Machine.create ()) in
+  let prep () = machine := footprint () in
+  if domains = 1 then
+    time_ns ~prep ~rounds ~reps:1 (fun () ->
+        ignore (Shadow.reset_interval ?page_pool !machine))
+  else begin
+    let pool = Domain_pool.create ~domains in
+    let ns =
+      time_ns ~prep ~rounds ~reps:1 (fun () ->
+          ignore (Shadow.reset_interval ~pool ?page_pool !machine))
+    in
+    Domain_pool.shutdown pool;
+    ns
+  end
+
+(* ---- simulated-cycle identity ------------------------------------------- *)
+
+let identity_matrix () =
+  let c = Harness.compiled Privateer_workloads.Dijkstra.workload in
+  let open Privateer.Pipeline in
+  let base = Harness.run_parallel ~host_domains:1 ~pool_cap:0 c in
+  let cells =
+    List.map
+      (fun (domains, cap, label) ->
+        let par = Harness.run_parallel ~host_domains:domains ~pool_cap:cap c in
+        let identical =
+          base.par_cycles = par.par_cycles
+          && base.stats.wall_cycles = par.stats.wall_cycles
+          && base.stats.checkpoints = par.stats.checkpoints
+          && String.equal base.par_output par.par_output
+        in
+        (domains, label, par, identical))
+      [ (1, Page_pool.unbounded, "unbounded");
+        (3, 0, "0");
+        (3, Page_pool.unbounded, "unbounded") ]
+  in
+  (base, cells)
+
+(* ---- driver ------------------------------------------------------------- *)
+
+let run () =
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "\n================ interval_reset: shadow reset over OCaml domains ================\n\n";
+  Printf.printf
+    "footprint: %d fully-timestamped + %d half-timestamped private pages; host cores: %d\n\n"
+    full_pages partial_pages cores;
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  let pool = fresh_pool () in
+  let curve =
+    List.map
+      (fun d -> (d, bench_reset d, bench_reset ~page_pool:pool d))
+      domain_counts
+  in
+  let t_seq_rewrite =
+    match curve with (_, ns, _) :: _ -> ns | [] -> assert false
+  in
+  let t =
+    Table.create
+      ~aligns:[ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "host domains"; "rewrite us"; "pooled us"; "pool win"; "speedup vs 1" ]
+  in
+  List.iter
+    (fun (d, rewrite_ns, pooled_ns) ->
+      Table.add_row t
+        [ string_of_int d; Printf.sprintf "%.1f" (rewrite_ns /. 1e3);
+          Printf.sprintf "%.1f" (pooled_ns /. 1e3);
+          Printf.sprintf "%.2fx" (rewrite_ns /. pooled_ns);
+          Printf.sprintf "%.2fx" (t_seq_rewrite /. pooled_ns) ])
+    curve;
+  Table.print t;
+  if cores <= 1 then
+    print_endline
+      "\n(single host core: the domain curve is flat here by construction; the\n\
+      \ pool win column is algorithmic and should hold regardless)";
+  let ps = Page_pool.stats pool in
+  Printf.printf
+    "\npool steady state: %d swaps (%d recycled), high water %d buffers, %d evictions\n"
+    ps.Page_pool.swaps ps.Page_pool.recycled ps.Page_pool.high_water
+    ps.Page_pool.evictions;
+  let base, cells = identity_matrix () in
+  let open Privateer.Pipeline in
+  Printf.printf
+    "\nsimulated identity (dijkstra, 24 workers): 1 domain / cap 0 -> %d wall cycles\n"
+    base.stats.wall_cycles;
+  List.iter
+    (fun (domains, cap_label, (par : Privateer.Pipeline.par_run), identical) ->
+      Printf.printf "  %d domains / cap %-9s -> %d wall cycles; %s\n" domains
+        cap_label par.stats.wall_cycles
+        (if identical then "identical" else "DIFFERS (BUG)"))
+    cells;
+  let json =
+    let open Json in
+    Obj
+      [ ("experiment", String "interval_reset"); ("host_cores", Int cores);
+        ("iters", Int (iters ()));
+        ( "footprint",
+          Obj
+            [ ("full_pages", Int full_pages); ("partial_pages", Int partial_pages);
+              ("page_size", Int Memory.page_size) ] );
+        ( "reset_ns",
+          List
+            (List.map
+               (fun (d, rewrite_ns, pooled_ns) ->
+                 Obj
+                   [ ("host_domains", Int d); ("rewrite_ns", Float rewrite_ns);
+                     ("pooled_ns", Float pooled_ns);
+                     ("pool_win", Float (rewrite_ns /. pooled_ns));
+                     ("pooled_speedup_vs_1", Float (t_seq_rewrite /. pooled_ns)) ])
+               curve) );
+        ( "pool_stats",
+          Obj
+            [ ("swaps", Int ps.Page_pool.swaps);
+              ("recycled", Int ps.Page_pool.recycled);
+              ("high_water", Int ps.Page_pool.high_water);
+              ("evictions", Int ps.Page_pool.evictions) ] );
+        ( "simulated_identity",
+          Obj
+            [ ("workload", String "dijkstra");
+              ("baseline_wall_cycles", Int base.stats.wall_cycles);
+              ( "cells",
+                List
+                  (List.map
+                     (fun (domains, cap_label, (par : Privateer.Pipeline.par_run),
+                           identical) ->
+                       Obj
+                         [ ("host_domains", Int domains);
+                           ("pool_cap", String cap_label);
+                           ("wall_cycles", Int par.stats.wall_cycles);
+                           ("identical_to_baseline", Bool identical) ])
+                     cells) ) ] ) ]
+  in
+  let oc = open_out "BENCH_interval_reset.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "\nwrote BENCH_interval_reset.json"

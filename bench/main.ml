@@ -432,7 +432,7 @@ let () =
     List.iter (fun (_, f) -> f ()) experiments;
     print_newline ();
     print_endline
-      "(wall-clock experiments: dune exec bench/main.exe -- micro | overhead | host_parallel)"
+      "(wall-clock experiments: dune exec bench/main.exe -- micro | overhead | host_parallel | interval_reset)"
   | _ :: [ "micro" ] -> Micro.run ()
   | _ :: names ->
     List.iter
@@ -442,9 +442,11 @@ let () =
         | None when name = "micro" -> Micro.run ()
         | None when name = "overhead" -> Overhead.run ()
         | None when name = "host_parallel" -> Host_parallel.run ()
+        | None when name = "interval_reset" -> Interval_reset.run ()
         | None ->
           Printf.eprintf
-            "unknown experiment %s (have: %s, micro, overhead, host_parallel)\n" name
+            "unknown experiment %s (have: %s, micro, overhead, host_parallel, interval_reset)\n"
+            name
             (String.concat ", " (List.map fst experiments));
           exit 1)
       names

@@ -35,17 +35,6 @@ let input_conv =
 
 let wl_arg = Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
 
-let workers_arg =
-  Arg.(value & opt int 24 & info [ "w"; "workers" ] ~docv:"N" ~doc:"Worker processes.")
-
-let host_domains_arg =
-  Arg.(value
-       & opt int Privateer_parallel.Executor.default_host_domains
-       & info [ "host-domains" ] ~docv:"N"
-           ~doc:"Run checkpoint extraction on N host OCaml domains (default \
-                 \\$(b,PRIVATEER_HOST_DOMAINS) or 1).  Host-only: simulated \
-                 cycles and outputs are identical at any setting.")
-
 let input_arg =
   Arg.(value & opt input_conv Workload.Ref
        & info [ "i"; "input" ] ~docv:"INPUT" ~doc:"Input set (train|ref|alt).")
@@ -55,39 +44,29 @@ let inject_arg =
        & info [ "inject" ] ~docv:"RATE"
            ~doc:"Inject misspeculation at this per-iteration rate.")
 
-let checkpoint_arg =
-  Arg.(value & opt (some int) None
-       & info [ "checkpoint" ] ~docv:"K" ~doc:"Checkpoint period in iterations.")
-
-let schedule_conv =
-  let parse s =
-    match Privateer_parallel.Schedule.of_string s with
-    | Some sched -> Ok sched
-    | None ->
-      Error (`Msg (Printf.sprintf "unknown schedule %S (cyclic|blocked|chunked:N)" s))
-  in
-  Arg.conv
-    (parse, fun fmt s -> Format.pp_print_string fmt (Privateer_parallel.Schedule.to_string s))
-
-let schedule_arg =
-  Arg.(value & opt schedule_conv Privateer_parallel.Schedule.Cyclic
-       & info [ "schedule" ] ~docv:"POLICY"
-           ~doc:"Iteration schedule: cyclic, blocked, or chunked:N.")
-
-let adaptive_arg =
-  Arg.(value & flag
-       & info [ "adaptive" ]
-           ~doc:"Adapt the checkpoint period to misspeculation (shrink on failure, \
-                 grow back on clean intervals).")
-
-let throttle_arg =
-  Arg.(value & opt (some int) None
-       & info [ "throttle" ] ~docv:"N"
-           ~doc:"Demote a loop to sequential execution after N misspeculations in \
-                 one invocation and suspend speculation on it.")
-
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit a machine-readable JSON report.")
+
+(* ---- runtime tuning flags, derived from Runtime_config ---------------- *)
+
+module RC = Privateer_parallel.Runtime_config
+
+(* Every engine-tuning flag (--workers, --host-domains, --checkpoint,
+   --schedule, --adaptive, --throttle, --shadow-pool-cap, ...) comes
+   from [Runtime_config.cli_bindings]: one optional string argument
+   per table entry, folded over a base config.  Adding a knob to the
+   table adds the flag here with no CLI change. *)
+let bindings_term =
+  List.fold_left
+    (fun acc (b : RC.binding) ->
+      let vopt = if b.b_flag_like then Some (Some "true") else None in
+      let arg =
+        Arg.(value
+             & opt ?vopt (some string) None
+             & info b.b_flags ~docv:b.b_docv ~doc:b.b_doc)
+      in
+      Term.(const (fun xs v -> (b, v) :: xs) $ acc $ arg))
+    (Term.const []) RC.cli_bindings
 
 (* Deterministically spaced injection at a given rate. *)
 let spaced_injection rate =
@@ -98,12 +77,15 @@ let spaced_injection rate =
         int_of_float (float_of_int (iter + 1) *. rate)
         > int_of_float (float_of_int iter *. rate))
 
-let config ?(schedule = Privateer_parallel.Schedule.Cyclic) ?(adaptive = false)
-    ?throttle ?(host_domains = Privateer_parallel.Executor.default_host_domains)
-    ~workers ~inject ~checkpoint () =
-  { Privateer_parallel.Executor.default_config with
-    workers; host_domains; inject = spaced_injection inject;
-    checkpoint_period = checkpoint; schedule; adaptive_period = adaptive; throttle }
+(* The CLI's base config: library defaults with the historical 24
+   simulated workers.  Unpassed flags leave the base untouched. *)
+let config ?(inject = 0.0) bindings =
+  let base = { RC.default with workers = 24 } in
+  match RC.apply_bindings base bindings with
+  | Ok c -> { c with RC.inject = spaced_injection inject }
+  | Error msg ->
+    Printf.eprintf "privateer: %s\n" msg;
+    exit 124
 
 (* ---- commands --------------------------------------------------------- *)
 
@@ -217,17 +199,13 @@ let report_run ~seq ~(par : Pipeline.par_run) ~fallbacks =
     b.useful b.private_read b.private_write b.checkpoint b.spawn_join
 
 let run_cmd =
-  let run wl workers host_domains input inject checkpoint schedule adaptive throttle
-      json =
+  let run wl bindings input inject json =
     let program = Workload.program wl in
     let tr, _ = Pipeline.compile ~setup:(Workload.setup wl Train) program in
     let seq = Pipeline.run_sequential ~setup:(Workload.setup wl input) program in
     let par =
       Pipeline.run_parallel ~setup:(Workload.setup wl input)
-        ~config:
-          (config ~schedule ~adaptive ?throttle ~host_domains ~workers ~inject
-             ~checkpoint ())
-        tr
+        ~config:(config ~inject bindings) tr
     in
     if json then
       print_endline
@@ -236,18 +214,18 @@ let run_cmd =
     else report_run ~seq ~par ~fallbacks:par.fallbacks
   in
   Cmd.v (Cmd.info "run" ~doc:"Profile, privatize and run a workload in parallel")
-    Term.(const run $ wl_arg $ workers_arg $ host_domains_arg $ input_arg $ inject_arg
-          $ checkpoint_arg $ schedule_arg $ adaptive_arg $ throttle_arg $ json_arg)
+    Term.(const run $ wl_arg $ bindings_term $ input_arg $ inject_arg $ json_arg)
 
 let compare_cmd =
-  let run wl workers host_domains =
+  let run wl bindings =
     let program = Workload.program wl in
     let profiler, _ = Pipeline.profile ~setup:(Workload.setup wl Train) program in
     let tr, _ = Pipeline.compile ~setup:(Workload.setup wl Train) program in
     let seq = Pipeline.run_sequential ~setup:(Workload.setup wl Ref) program in
+    let cfg = config bindings in
+    let workers = cfg.RC.workers in
     let par =
-      Pipeline.run_parallel ~setup:(Workload.setup wl Ref)
-        ~config:(config ~host_domains ~workers ~inject:0.0 ~checkpoint:None ()) tr
+      Pipeline.run_parallel ~setup:(Workload.setup wl Ref) ~config:cfg tr
     in
     let report = Privateer_baselines.Doall_only.select program profiler in
     let dst, _, _ =
@@ -263,24 +241,21 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Privateer vs the non-speculative DOALL-only baseline")
-    Term.(const run $ wl_arg $ workers_arg $ host_domains_arg)
+    Term.(const run $ wl_arg $ bindings_term)
 
 let file_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cm") in
-  let run path workers host_domains =
+  let run path bindings =
     let source = In_channel.with_open_text path In_channel.input_all in
     let program = Pipeline.parse source in
     let tr, _ = Pipeline.compile program in
     let seq = Pipeline.run_sequential program in
-    let par =
-      Pipeline.run_parallel
-        ~config:(config ~host_domains ~workers ~inject:0.0 ~checkpoint:None ()) tr
-    in
+    let par = Pipeline.run_parallel ~config:(config bindings) tr in
     print_string par.par_output;
     report_run ~seq ~par ~fallbacks:par.fallbacks
   in
   Cmd.v (Cmd.info "file" ~doc:"Run the full pipeline on a Cmini source file")
-    Term.(const run $ path $ workers_arg $ host_domains_arg)
+    Term.(const run $ path $ bindings_term)
 
 let () =
   let doc = "Privateer: speculative separation for privatization and reductions" in

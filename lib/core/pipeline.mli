@@ -66,15 +66,19 @@ type par_run = {
 (** Speculative parallel execution of a transformed program under the
     DOALL executor.
 
-    The config's [host_domains] field selects how many host OCaml
-    domains checkpoint extraction fans out over.  Host parallelism is
-    invisible to the simulation: for any setting, [par_output],
-    [par_result], [par_cycles] and every [stats] counter are
-    byte-identical to the sequential ([host_domains = 1]) run — only
-    the host wall-clock changes. *)
+    [config] is a {!Privateer_parallel.Runtime_config.t} (of which
+    [Executor.config] is a re-export) — build one with
+    [Runtime_config.make].  Its [host_domains] field selects how many
+    host OCaml domains the engine's host work (checkpoint extraction,
+    interval reset, spawn setup) fans out over, and [pool_cap] sizes
+    the shadow-page recycling pool.  Both are invisible to the
+    simulation: for any setting, [par_output], [par_result],
+    [par_cycles] and every [stats] counter are byte-identical to the
+    sequential ([host_domains = 1], [pool_cap = 0]) run — only the
+    host wall-clock changes. *)
 val run_parallel :
   ?setup:setup ->
-  ?config:Privateer_parallel.Executor.config ->
+  ?config:Privateer_parallel.Runtime_config.t ->
   Privateer_transform.Transform.result ->
   par_run
 
@@ -96,6 +100,6 @@ type experiment = {
 val experiment :
   ?train:setup ->
   ?run:setup ->
-  ?config:Privateer_parallel.Executor.config ->
+  ?config:Privateer_parallel.Runtime_config.t ->
   Privateer_ir.Ast.program ->
   experiment

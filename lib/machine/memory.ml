@@ -38,7 +38,10 @@ let n_heaps = 1 lsl Heap.tag_bits
 let tag_of_key key = (key lsr heap_shift) land (n_heaps - 1)
 
 type page = {
-  bytes : Bytes.t;
+  mutable bytes : Bytes.t;
+      (* mutable only for [swap_bytes]: the interval-reset fast path
+         retires a fully-timestamped shadow page by exchanging its
+         backing store with a pooled pre-filled buffer *)
   ftags : Bytes.t;
   mutable shared : bool;
       (* true when this page object may be referenced by another page
@@ -46,6 +49,13 @@ type page = {
   mutable any_timestamp : bool; (* may hold shadow timestamps (>= 3) *)
   mutable any_live_in_read : bool; (* may hold read-live-in marks (2) *)
   mutable written_this_interval : bool; (* mirrors the dirty set *)
+  mutable timestamp_bytes : int;
+      (* exact count of shadow timestamp bytes (metadata >= 3) on this
+         page, maintained by the shadow layer (Shadow.access adds,
+         reset zeroes).  [timestamp_bytes = page_size] proves the page
+         is fully timestamped, enabling the swap-and-fill retirement;
+         unlike the [any_*] flags this is a count, not a hint, so only
+         the shadow layer may write metadata on counted pages. *)
 }
 
 type t = {
@@ -60,14 +70,15 @@ let create () =
 let fresh_page () =
   { bytes = Bytes.make page_size '\000'; ftags = Bytes.make words_per_page '\000';
     shared = false; any_timestamp = false; any_live_in_read = false;
-    written_this_interval = false }
+    written_this_interval = false; timestamp_bytes = 0 }
 
-(* The clone inherits the summary flags: they describe page content,
-   which the copy shares at clone time. *)
+(* The clone inherits the summary flags and the timestamp count: they
+   describe page content, which the copy shares at clone time. *)
 let clone_page p =
   { bytes = Bytes.copy p.bytes; ftags = Bytes.copy p.ftags; shared = false;
     any_timestamp = p.any_timestamp; any_live_in_read = p.any_live_in_read;
-    written_this_interval = p.written_this_interval }
+    written_this_interval = p.written_this_interval;
+    timestamp_bytes = p.timestamp_bytes }
 
 (* Copy-on-write child: shares every current page with the parent.
    Both sides will clone a shared page on first write. *)
@@ -94,7 +105,24 @@ let any_live_in_read p = p.any_live_in_read
 let written_this_interval p = p.written_this_interval
 let flag_timestamp p = p.any_timestamp <- true
 let flag_live_in_read p = p.any_live_in_read <- true
-let clear_timestamp_flag p = p.any_timestamp <- false
+
+(* Clearing the timestamp flag is a proof of absence, so the exact
+   count falls to zero with it. *)
+let clear_timestamp_flag p =
+  p.any_timestamp <- false;
+  p.timestamp_bytes <- 0
+
+let timestamp_bytes p = p.timestamp_bytes
+let add_timestamp_bytes p n = p.timestamp_bytes <- p.timestamp_bytes + n
+
+(* Exchange the page's backing store for [replacement], returning the
+   old buffer.  Only legal on an unshared page (from [touch_page]): a
+   shared page's buffer is still referenced by another page table. *)
+let swap_bytes p replacement =
+  assert (not p.shared && Bytes.length replacement = page_size);
+  let old = p.bytes in
+  p.bytes <- replacement;
+  old
 
 (* Page for reading: never allocates; None means all-zero. *)
 let find_page t addr =

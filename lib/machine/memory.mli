@@ -53,7 +53,33 @@ val written_this_interval : page -> bool
 
 val flag_timestamp : page -> unit
 val flag_live_in_read : page -> unit
+
 val clear_timestamp_flag : page -> unit
+(** Clears the timestamp flag {i and} zeroes {!timestamp_bytes}: the
+    caller asserts the page holds no timestamps, so the exact count
+    falls with the hint. *)
+
+val timestamp_bytes : page -> int
+(** Exact count of shadow timestamp bytes (metadata [>= 3]) on this
+    page.  Unlike the [any_*] flags this is a count, not a hint: it is
+    maintained solely by the shadow layer ([Shadow.access] adds,
+    interval reset zeroes via {!clear_timestamp_flag}) and survives
+    copy-on-write cloning.  [timestamp_bytes p = page_size] proves the
+    page is fully timestamped, enabling the pooled swap-and-fill
+    retirement on the interval-reset path. *)
+
+val add_timestamp_bytes : page -> int -> unit
+(** Add a (possibly negative) delta to {!timestamp_bytes}.  Shadow
+    layer only. *)
+
+val swap_bytes : page -> Bytes.t -> Bytes.t
+(** [swap_bytes p replacement] installs [replacement] as the page's
+    backing store and returns the old buffer.  Only legal on an
+    unshared page (one obtained from {!touch_page} this interval);
+    [replacement] must be exactly {!page_size} bytes.  This is the
+    interval-reset fast path: a fully-timestamped shadow page is
+    retired wholesale by exchanging its buffer with a pooled,
+    pre-filled one instead of rewriting 4096 bytes in place. *)
 
 val create : unit -> t
 (** An empty memory (every read sees zero). *)

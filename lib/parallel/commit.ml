@@ -33,20 +33,29 @@ type ctx = {
   emit_main : string -> unit;
   serial_commit : bool;
   pool : Privateer_support.Domain_pool.t option;
-      (* host-domain pool for checkpoint extraction; None = sequential *)
+      (* host-domain pool for checkpoint extraction, interval reset
+         and spawn setup; None = sequential *)
+  page_pool : Page_pool.t option;
+      (* shadow-page buffer pool for swap-retirement at interval
+         reset; None = in-place rewrite *)
   merge_state : Checkpoint.merge_state;
       (* word -> writer index carried across this cohort's intervals *)
 }
 
 let make_ctx (env : Worker.env) (st : Interp.t) fr spec ~io ~emit_main ~serial_commit
-    ~pool =
+    ~pool ~page_pool =
   let ranges = Worker.redux_ranges st spec in
   let reg_ops = Worker.reduction_regs spec in
   { env; ranges; reg_ops; redux_base = Worker.read_redux_base st ranges;
     reg_base =
       List.map (fun (name, _) -> (name, Hashtbl.find fr.Interp.locals name)) reg_ops;
-    io; emit_main; serial_commit; pool;
+    io; emit_main; serial_commit; pool; page_pool;
     merge_state = Checkpoint.create_merge_state () }
+
+(* Index work performed by this cohort's carried merge index — a
+   per-ctx counter, so concurrent pipelines in one process cannot
+   cross-contaminate each other's regression baselines. *)
+let index_ops ctx = Checkpoint.index_ops ctx.merge_state
 
 let write_value_word machine addr (v : Value.t) =
   let bits, is_float = Value.to_bits v in
@@ -103,10 +112,16 @@ let commit_interval ctx (st : Interp.t) fr workers (m : Checkpoint.merged) ~lo ~
        m.Checkpoint.contributions);
   Deferred_io.commit_range ctx.io ~lo ~hi ~sink:ctx.emit_main;
   stats.checkpoints <- stats.checkpoints + 1;
-  (* Metadata reset + dirty clear per worker. *)
+  (* Metadata reset + dirty clear per worker.  The reset's host work
+     fans out over the ctx's domain pool and retires fully-timestamped
+     pages through the shadow-page pool; the simulated per-page charge
+     is identical either way. *)
   List.iter
     (fun (w : Worker.t) ->
-      let pages = Shadow.reset_interval w.w_st.machine in
+      let pages =
+        Shadow.reset_interval ?pool:ctx.pool ?page_pool:ctx.page_pool
+          w.w_st.machine
+      in
       let cost = pages * cm.c_reset_page in
       w.w_clock <- w.w_clock + cost;
       stats.cyc_checkpoint <- stats.cyc_checkpoint + cost;

@@ -20,45 +20,28 @@ open Privateer_interp
 open Privateer_transform
 open Privateer_runtime
 
-type config = {
+(* The engine's tuning record is [Runtime_config.t]; the re-export
+   keeps the historical [{ Executor.default_config with ... }] call
+   sites compiling unchanged.  New code should build configurations
+   with [Runtime_config.make]. *)
+type config = Runtime_config.t = {
   workers : int;
   host_domains : int;
-      (* host-side parallelism: checkpoint extraction fans out over a
-         pool of this many OCaml domains.  1 (the default) keeps the
-         fully sequential reference path.  Host-only: simulated cycles
-         and all committed state are byte-identical at any setting. *)
-  schedule : Schedule.t; (* iteration-assignment policy *)
-  checkpoint_period : int option; (* None: auto (aim ~6 per invocation) *)
+  schedule : Schedule.t;
+  checkpoint_period : int option;
   adaptive_period : bool;
-      (* true: shrink the period after a misspeculated interval and
-         grow it back after clean ones (Recovery.period) *)
   throttle : int option;
-      (* Some n: after n misspeculations in one invocation, demote the
-         loop to sequential execution and suspend speculation on it
-         for later invocations.  None: never demote. *)
+  pool_cap : int;
   costs : Cost_model.t;
-  inject : (int -> bool) option; (* injected misspeculation, by iteration *)
-  validate : bool; (* false: disable all validation work (ablation) *)
+  inject : (int -> bool) option;
+  validate : bool;
   serial_commit : bool;
-      (* true: model an STMLite-style central commit process that
-         serially merges every contributed page (ablation; the paper
-         notes STMLite's central commit "can quickly become an
-         execution bottleneck"). *)
 }
 
-(* The PRIVATEER_HOST_DOMAINS environment variable sets the default
-   host parallelism, so an unmodified test or bench run can exercise
-   the domain-parallel extraction path (CI runs the suite once with
-   it forced to 4). *)
-let default_host_domains =
-  match Sys.getenv_opt "PRIVATEER_HOST_DOMAINS" with
-  | Some s -> ( try max 1 (min 64 (int_of_string (String.trim s))) with Failure _ -> 1)
-  | None -> 1
-
-let default_config =
-  { workers = 4; host_domains = default_host_domains; schedule = Schedule.Cyclic;
-    checkpoint_period = None; adaptive_period = false; throttle = None;
-    costs = Cost_model.default; inject = None; validate = true; serial_commit = false }
+(* Deprecated shims — use [Runtime_config] directly. *)
+let default_host_domains = Runtime_config.default_host_domains
+let default_config = Runtime_config.default
+let validate_config = Runtime_config.validate
 
 type t = {
   manifest : Manifest.t;
@@ -66,35 +49,16 @@ type t = {
   stats : Stats.t;
   pool : Privateer_support.Domain_pool.t option;
       (* host-domain pool when host_domains > 1 (shared process-wide) *)
+  page_pool : Page_pool.t option;
+      (* shadow-page buffer pool when pool_cap > 0 (per executor:
+         retired buffers recycle across this engine's intervals) *)
   mutable fallbacks : int; (* invocations run sequentially (failed preheader) *)
   suspended : (Ast.node_id, unit) Hashtbl.t;
       (* loops whose speculation the throttle has suspended *)
 }
 
-(* Reject configurations that would fail deep inside an invocation
-   ([workers = 0] used to surface as [Option.get] on an empty
-   contribution list). *)
-let validate_config config =
-  if config.workers <= 0 then
-    invalid_arg
-      (Printf.sprintf "Executor.create: workers must be > 0 (got %d)" config.workers);
-  if config.host_domains < 1 || config.host_domains > 64 then
-    invalid_arg
-      (Printf.sprintf "Executor.create: host_domains must be in [1, 64] (got %d)"
-         config.host_domains);
-  (match config.checkpoint_period with
-  | Some k when k <= 0 ->
-    invalid_arg
-      (Printf.sprintf "Executor.create: checkpoint_period must be > 0 (got %d)" k)
-  | Some _ | None -> ());
-  (match config.throttle with
-  | Some n when n <= 0 ->
-    invalid_arg (Printf.sprintf "Executor.create: throttle must be > 0 (got %d)" n)
-  | Some _ | None -> ());
-  Schedule.validate config.schedule
-
 let create manifest config =
-  validate_config config;
+  Runtime_config.validate config;
   let stats = Stats.create () in
   stats.workers <- config.workers;
   let pool =
@@ -102,7 +66,14 @@ let create manifest config =
       Some (Privateer_support.Domain_pool.shared ~domains:config.host_domains)
     else None
   in
-  { manifest; config; stats; pool; fallbacks = 0; suspended = Hashtbl.create 4 }
+  let page_pool =
+    if config.pool_cap > 0 then
+      Some
+        (Page_pool.create ~cap:config.pool_cap ~fill:(Char.chr Shadow.old_write) ())
+    else None
+  in
+  { manifest; config; stats; pool; page_pool; fallbacks = 0;
+    suspended = Hashtbl.create 4 }
 
 let env t =
   { Worker.cm = t.config.costs; stats = t.stats; manifest = t.manifest;
@@ -192,8 +163,12 @@ let run_invocation t (st : Interp.t) fr (spec : Manifest.loop_spec) ~var ~init_v
       else begin
         let ctx = Commit.make_ctx env st fr spec ~io ~emit_main
             ~serial_commit:t.config.serial_commit ~pool:t.pool
+            ~page_pool:t.page_pool
         in
-        let workers = Worker.spawn env st fr spec ctx.Commit.ranges nw ~now:!timeline in
+        let workers =
+          Worker.spawn ?pool:t.pool env st fr spec ctx.Commit.ranges nw
+            ~now:!timeline
+        in
         let rec interval_loop i0 =
           let hi = min n (i0 + Recovery.current_period period) in
           let owner =

@@ -1,0 +1,203 @@
+(* The unified runtime-tuning surface.
+
+   Every knob of the speculation engine lives in this one validated
+   record: [Executor] consumes it directly ([Executor.config] is a
+   re-export of [t], so `{ Executor.default_config with ... }` call
+   sites keep compiling), [Pipeline] threads it through, and the CLI
+   builds its flags from [cli_bindings] instead of hand-rolling one
+   argument per field.  This module is also the only place that reads
+   the PRIVATEER_* environment defaults. *)
+
+module Page_pool = Privateer_runtime.Page_pool
+
+type t = {
+  workers : int; (* simulated worker processes *)
+  host_domains : int;
+      (* host-side parallelism: checkpoint extraction, interval reset,
+         and spawn-time snapshot setup fan out over a pool of this
+         many OCaml domains.  1 keeps the fully sequential reference
+         path.  Host-only: simulated cycles and all committed state
+         are byte-identical at any setting. *)
+  schedule : Schedule.t; (* iteration-assignment policy *)
+  checkpoint_period : int option; (* None: auto (aim ~6 per invocation) *)
+  adaptive_period : bool;
+      (* true: shrink the period after a misspeculated interval and
+         grow it back after clean ones (Recovery.period) *)
+  throttle : int option;
+      (* Some n: after n misspeculations in one invocation, demote the
+         loop to sequential execution and suspend speculation on it
+         for later invocations.  None: never demote. *)
+  pool_cap : int;
+      (* shadow-page pool free-list cap: fully-timestamped shadow
+         pages are retired by buffer swap at interval reset and up to
+         this many refilled buffers are kept for recycling.  0
+         disables pooling (in-place rewrite everywhere);
+         [Page_pool.unbounded] never evicts.  Host-only, like
+         host_domains. *)
+  costs : Cost_model.t;
+  inject : (int -> bool) option; (* injected misspeculation, by iteration *)
+  validate : bool; (* false: disable all validation work (ablation) *)
+  serial_commit : bool;
+      (* true: model an STMLite-style central commit process that
+         serially merges every contributed page (ablation; the paper
+         notes STMLite's central commit "can quickly become an
+         execution bottleneck"). *)
+}
+
+(* ---- environment defaults -------------------------------------------- *)
+
+let env_int ~lo ~hi ~default name =
+  match Sys.getenv_opt name with
+  | Some s -> (
+    try max lo (min hi (int_of_string (String.trim s))) with Failure _ -> default)
+  | None -> default
+
+(* PRIVATEER_HOST_DOMAINS sets the default host parallelism and
+   PRIVATEER_SHADOW_POOL_CAP the default pool cap, so an unmodified
+   test or bench run can exercise the domain-parallel and pool-disabled
+   paths (CI forces both). *)
+let default_host_domains = env_int ~lo:1 ~hi:64 ~default:1 "PRIVATEER_HOST_DOMAINS"
+
+let default_pool_cap =
+  env_int ~lo:0 ~hi:max_int ~default:Page_pool.unbounded "PRIVATEER_SHADOW_POOL_CAP"
+
+let default =
+  { workers = 4; host_domains = default_host_domains; schedule = Schedule.Cyclic;
+    checkpoint_period = None; adaptive_period = false; throttle = None;
+    pool_cap = default_pool_cap; costs = Cost_model.default; inject = None;
+    validate = true; serial_commit = false }
+
+(* ---- validation ------------------------------------------------------- *)
+
+let validate config =
+  if config.workers <= 0 then
+    invalid_arg
+      (Printf.sprintf "Runtime_config: workers must be > 0 (got %d)" config.workers);
+  if config.host_domains < 1 || config.host_domains > 64 then
+    invalid_arg
+      (Printf.sprintf "Runtime_config: host_domains must be in [1, 64] (got %d)"
+         config.host_domains);
+  (match config.checkpoint_period with
+  | Some k when k <= 0 ->
+    invalid_arg
+      (Printf.sprintf "Runtime_config: checkpoint_period must be > 0 (got %d)" k)
+  | Some _ | None -> ());
+  (match config.throttle with
+  | Some n when n <= 0 ->
+    invalid_arg (Printf.sprintf "Runtime_config: throttle must be > 0 (got %d)" n)
+  | Some _ | None -> ());
+  if config.pool_cap < 0 then
+    invalid_arg
+      (Printf.sprintf "Runtime_config: pool_cap must be >= 0 (got %d)" config.pool_cap);
+  Schedule.validate config.schedule
+
+(* ---- builder ---------------------------------------------------------- *)
+
+let make ?workers ?host_domains ?schedule ?checkpoint_period ?adaptive_period
+    ?throttle ?pool_cap ?costs ?inject ?validate:validate_opt ?serial_commit () =
+  let opt v d = Option.value v ~default:d in
+  let config =
+    { workers = opt workers default.workers;
+      host_domains = opt host_domains default.host_domains;
+      schedule = opt schedule default.schedule;
+      checkpoint_period = opt checkpoint_period default.checkpoint_period;
+      adaptive_period = opt adaptive_period default.adaptive_period;
+      throttle = opt throttle default.throttle;
+      pool_cap = opt pool_cap default.pool_cap; costs = opt costs default.costs;
+      inject = opt inject default.inject;
+      validate = opt validate_opt default.validate;
+      serial_commit = opt serial_commit default.serial_commit }
+  in
+  validate config;
+  config
+
+(* ---- CLI flag bindings ------------------------------------------------ *)
+
+type binding = {
+  b_flags : string list;
+  b_docv : string;
+  b_doc : string;
+  b_flag_like : bool;
+      (* true: the bare flag means "true" (CLI passes ~vopt:"true") *)
+  b_apply : t -> string -> (t, string) result;
+}
+
+let int_field name apply t s =
+  match int_of_string_opt (String.trim s) with
+  | Some v -> Ok (apply t v)
+  | None -> Error (Printf.sprintf "%s: expected an integer, got %S" name s)
+
+let opt_int_field name apply t s =
+  match String.trim s with
+  | "none" -> Ok (apply t None)
+  | s -> (
+    match int_of_string_opt s with
+    | Some v -> Ok (apply t (Some v))
+    | None -> Error (Printf.sprintf "%s: expected an integer or 'none', got %S" name s))
+
+let bool_field name apply t s =
+  match bool_of_string_opt (String.trim s) with
+  | Some v -> Ok (apply t v)
+  | None -> Error (Printf.sprintf "%s: expected true or false, got %S" name s)
+
+(* One entry per string-expressible tunable; the CLI derives one
+   Cmdliner argument per entry and folds the applications over a base
+   config, so adding a knob here is the whole CLI change. *)
+let cli_bindings =
+  [ { b_flags = [ "w"; "workers" ]; b_docv = "N"; b_doc = "Worker processes.";
+      b_flag_like = false;
+      b_apply = int_field "workers" (fun t workers -> { t with workers }) };
+    { b_flags = [ "host-domains" ]; b_docv = "N";
+      b_doc =
+        "Run host-parallel work (checkpoint extraction, interval reset, spawn \
+         setup) on N OCaml domains (default \\$(b,PRIVATEER_HOST_DOMAINS) or 1).  \
+         Host-only: simulated cycles and outputs are identical at any setting.";
+      b_flag_like = false;
+      b_apply =
+        int_field "host-domains" (fun t host_domains -> { t with host_domains }) };
+    { b_flags = [ "checkpoint" ]; b_docv = "K";
+      b_doc = "Checkpoint period in iterations ('none': auto).";
+      b_flag_like = false;
+      b_apply =
+        opt_int_field "checkpoint" (fun t checkpoint_period ->
+            { t with checkpoint_period }) };
+    { b_flags = [ "schedule" ]; b_docv = "POLICY";
+      b_doc = "Iteration schedule: cyclic, blocked, or chunked:N.";
+      b_flag_like = false;
+      b_apply =
+        (fun t s ->
+          match Schedule.of_string s with
+          | Some schedule -> Ok { t with schedule }
+          | None ->
+            Error (Printf.sprintf "unknown schedule %S (cyclic|blocked|chunked:N)" s)) };
+    { b_flags = [ "adaptive" ]; b_docv = "BOOL";
+      b_doc =
+        "Adapt the checkpoint period to misspeculation (shrink on failure, grow \
+         back on clean intervals).";
+      b_flag_like = true;
+      b_apply =
+        bool_field "adaptive" (fun t adaptive_period -> { t with adaptive_period }) };
+    { b_flags = [ "throttle" ]; b_docv = "N";
+      b_doc =
+        "Demote a loop to sequential execution after N misspeculations in one \
+         invocation and suspend speculation on it ('none': never).";
+      b_flag_like = false;
+      b_apply = opt_int_field "throttle" (fun t throttle -> { t with throttle }) };
+    { b_flags = [ "shadow-pool-cap" ]; b_docv = "N";
+      b_doc =
+        "Keep up to N retired shadow-page buffers for swap-recycling at interval \
+         reset (0 disables pooling; default \\$(b,PRIVATEER_SHADOW_POOL_CAP) or \
+         unbounded).  Host-only, like --host-domains.";
+      b_flag_like = false;
+      b_apply = int_field "shadow-pool-cap" (fun t pool_cap -> { t with pool_cap }) }
+  ]
+
+(* Fold a list of (binding, passed value) pairs over [base]; unpassed
+   flags leave their field untouched.  The first parse error wins. *)
+let apply_bindings base passed =
+  List.fold_left
+    (fun acc (b, v) ->
+      match (acc, v) with
+      | Error _, _ | _, None -> acc
+      | Ok t, Some s -> b.b_apply t s)
+    (Ok base) passed

@@ -1,0 +1,99 @@
+(** The unified runtime-tuning surface of the speculation engine.
+
+    One validated record holds every knob: simulated worker count,
+    host-domain parallelism, checkpoint period (fixed or adaptive),
+    misspeculation throttle, iteration schedule, shadow-page pool cap,
+    cost model, and the ablation switches.  {!Executor.config} is a
+    re-export of {!t} (so existing [{ Executor.default_config with
+    ... }] call sites keep compiling), {!make} is the validating
+    builder, this module is the only reader of the [PRIVATEER_*]
+    environment defaults, and {!cli_bindings} is the single table the
+    CLI derives its tuning flags from. *)
+
+type t = {
+  workers : int;  (** simulated worker processes (> 0) *)
+  host_domains : int;
+      (** host-side parallelism in [\[1, 64\]]: checkpoint extraction,
+          interval reset, and spawn-time snapshot setup fan out over a
+          pool of this many OCaml domains; [1] keeps the fully
+          sequential reference path.  Host-only — simulated cycles and
+          all committed state are byte-identical at any setting.
+          Default: [PRIVATEER_HOST_DOMAINS] or 1. *)
+  schedule : Schedule.t;  (** iteration-assignment policy *)
+  checkpoint_period : int option;
+      (** [None]: auto (aim ~6 checkpoints per invocation) *)
+  adaptive_period : bool;
+      (** shrink the period after a misspeculated interval, grow it
+          back after clean ones *)
+  throttle : int option;
+      (** [Some n]: demote a loop to sequential execution after [n]
+          misspeculations in one invocation *)
+  pool_cap : int;
+      (** shadow-page pool free-list cap ([>= 0]): fully-timestamped
+          shadow pages are retired by buffer swap at interval reset
+          and up to this many refilled buffers are kept for recycling.
+          [0] disables pooling; [Page_pool.unbounded] never evicts.
+          Host-only, like [host_domains].  Default:
+          [PRIVATEER_SHADOW_POOL_CAP] or unbounded. *)
+  costs : Cost_model.t;
+  inject : (int -> bool) option;
+      (** injected misspeculation, by iteration *)
+  validate : bool;  (** [false]: disable all validation (ablation) *)
+  serial_commit : bool;
+      (** model an STMLite-style central serial commit (ablation) *)
+}
+
+val default_host_domains : int
+(** The [PRIVATEER_HOST_DOMAINS] environment default (1 when unset). *)
+
+val default_pool_cap : int
+(** The [PRIVATEER_SHADOW_POOL_CAP] environment default (unbounded
+    when unset). *)
+
+val default : t
+(** Every field at its documented default (environment-sensitive for
+    [host_domains] and [pool_cap]). *)
+
+(** Reject configurations that would fail deep inside an invocation.
+    @raise Invalid_argument naming the offending field. *)
+val validate : t -> unit
+
+(** Builder: {!default} with the given fields replaced, validated.
+    @raise Invalid_argument on an invalid combination. *)
+val make :
+  ?workers:int ->
+  ?host_domains:int ->
+  ?schedule:Schedule.t ->
+  ?checkpoint_period:int option ->
+  ?adaptive_period:bool ->
+  ?throttle:int option ->
+  ?pool_cap:int ->
+  ?costs:Cost_model.t ->
+  ?inject:(int -> bool) option ->
+  ?validate:bool ->
+  ?serial_commit:bool ->
+  unit ->
+  t
+
+(** {2 CLI flag bindings}
+
+    One entry per string-expressible tunable.  A CLI derives one
+    optional string argument per entry ([b_flag_like] entries accept
+    the bare flag as "true") and folds the passed values over a base
+    config with {!apply_bindings}; adding a knob to the table is the
+    whole CLI change. *)
+
+type binding = {
+  b_flags : string list;  (** Cmdliner-style names, e.g. ["host-domains"] *)
+  b_docv : string;
+  b_doc : string;
+  b_flag_like : bool;
+  b_apply : t -> string -> (t, string) result;
+}
+
+val cli_bindings : binding list
+
+(** Fold (binding, passed value) pairs over [base]; [None] values
+    leave their field untouched; the first parse error wins. *)
+val apply_bindings :
+  t -> (binding * string option) list -> (t, string) result

@@ -195,32 +195,57 @@ let read_redux_base (st : Interp.t) ranges =
 
 (* ---- spawn and iteration execution ----------------------------------- *)
 
-let spawn (env : env) (st : Interp.t) fr spec ranges n_workers ~now =
+(* Spawn-time snapshot setup for one worker: fork (copy-on-write page
+   share), frame copy, reduction re-initialization.  Everything here
+   is a function of the read-only parent state and the worker index,
+   so [spawn] may run these on pool domains concurrently: the only
+   writes that touch shared structures are the idempotent
+   [page.shared <- true] stores inside [Machine.snapshot] (every fork
+   writes the same value, and each task orders its own stores before
+   its own reads), plus each task's own fresh page tables.  No
+   simulated state moves: clocks are a function of the index and the
+   result list is in index order. *)
+let setup_worker (env : env) (st : Interp.t) fr spec ranges ~now i =
   let cm = env.cm in
-  List.init n_workers (fun i ->
-      let wst = Interp.fork st in
-      let frame = Interp.copy_frame fr in
-      (* Reduction registers restart from the operator's identity. *)
-      List.iter
-        (fun (name, op) ->
-          Hashtbl.replace frame.Interp.locals name (Reduction.identity_value op))
-        (reduction_regs spec);
-      (* The reduction heap is replaced by identity-initialized pages
-         (paper 3.2) — bulk word fill, one page resolution per page. *)
-      List.iter
-        (fun (base, size, op) ->
-          let bits, is_float = Reduction.identity_bits op in
-          Machine.fill_words wst.machine base ~words:((size + 7) / 8) bits is_float)
-        ranges;
-      Memory.clear_dirty wst.machine.Machine.mem;
-      let w =
-        { w_id = i; w_st = wst; w_frame = frame; w_clock = now + ((i + 1) * cm.c_fork);
-          w_cycles_mark = wst.cycles; w_beta = 0; w_iter = 0; w_sl_balance = 0;
-          w_instr = 0 }
-      in
-      env.stats.cyc_spawn <- env.stats.cyc_spawn + ((i + 1) * cm.c_fork);
-      wst.hooks <- hooks env w;
-      w)
+  let wst = Interp.fork st in
+  let frame = Interp.copy_frame fr in
+  (* Reduction registers restart from the operator's identity. *)
+  List.iter
+    (fun (name, op) ->
+      Hashtbl.replace frame.Interp.locals name (Reduction.identity_value op))
+    (reduction_regs spec);
+  (* The reduction heap is replaced by identity-initialized pages
+     (paper 3.2) — bulk word fill, one page resolution per page. *)
+  List.iter
+    (fun (base, size, op) ->
+      let bits, is_float = Reduction.identity_bits op in
+      Machine.fill_words wst.machine base ~words:((size + 7) / 8) bits is_float)
+    ranges;
+  Memory.clear_dirty wst.machine.Machine.mem;
+  let w =
+    { w_id = i; w_st = wst; w_frame = frame; w_clock = now + ((i + 1) * cm.c_fork);
+      w_cycles_mark = wst.cycles; w_beta = 0; w_iter = 0; w_sl_balance = 0;
+      w_instr = 0 }
+  in
+  wst.hooks <- hooks env w;
+  w
+
+let spawn ?pool (env : env) (st : Interp.t) fr spec ranges n_workers ~now =
+  let cm = env.cm in
+  let workers =
+    match pool with
+    | Some dp when Privateer_support.Domain_pool.size dp > 1 && n_workers > 1 ->
+      Privateer_support.Domain_pool.run dp
+        (List.init n_workers (fun i ->
+             fun () -> setup_worker env st fr spec ranges ~now i))
+    | Some _ | None ->
+      List.init n_workers (setup_worker env st fr spec ranges ~now)
+  in
+  (* Stats stay off the parallel tasks: one aggregate charge, equal to
+     the per-worker sum the sequential path accumulated. *)
+  env.stats.cyc_spawn <-
+    env.stats.cyc_spawn + (n_workers * (n_workers + 1) / 2 * cm.c_fork);
+  workers
 
 (* Execute one iteration on a worker.  Raises Worker_misspec. *)
 let exec_iteration (env : env) w ~var ~init_value ~iter ~interval_start ~body

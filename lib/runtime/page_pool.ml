@@ -1,0 +1,74 @@
+(* Free-list pool of pre-filled shadow page buffers.
+
+   The interval-reset fast path retires a fully-timestamped shadow
+   page by swapping its backing store with a buffer from this pool
+   (every byte already holds the reset value), then refills the
+   retired buffer off the sequential path and recycles it at the next
+   interval.  The fill byte is a construction parameter rather than a
+   [Shadow] reference so this module sits below the shadow layer in
+   the dependency order; [Shadow.reset_interval] checks at run time
+   that the byte is the one its state machine resets to.
+
+   The pool is single-domain by design: [acquire] and [deposit] are
+   only ever called from the sequential phases of the reset (the
+   parallel phase touches the buffers' bytes, never the free list), so
+   there is no locking. *)
+
+type stats = {
+  swaps : int;  (** buffers handed out for swap-retirement *)
+  recycled : int;  (** hand-outs served from the free list *)
+  evictions : int;  (** refilled buffers dropped at the cap *)
+  high_water : int;  (** max free-list length ever observed *)
+}
+
+type t = {
+  cap : int;
+  fill : char;
+  mutable free : Bytes.t list;
+  mutable free_len : int;
+  mutable swaps : int;
+  mutable recycled : int;
+  mutable evictions : int;
+  mutable high_water : int;
+}
+
+let unbounded = max_int
+
+let create ?(cap = unbounded) ~fill () =
+  if cap < 0 then invalid_arg "Page_pool.create: negative cap";
+  { cap; fill; free = []; free_len = 0; swaps = 0; recycled = 0; evictions = 0;
+    high_water = 0 }
+
+let cap t = t.cap
+let fill t = t.fill
+let enabled t = t.cap > 0
+let ready t = t.free_len
+
+let acquire t =
+  if t.cap = 0 then None
+  else begin
+    t.swaps <- t.swaps + 1;
+    match t.free with
+    | b :: rest ->
+      t.free <- rest;
+      t.free_len <- t.free_len - 1;
+      t.recycled <- t.recycled + 1;
+      Some b
+    | [] ->
+      (* Growing the pool: mint a pre-filled buffer.  The high-water
+         cap bounds the free list, not the mint — outstanding buffers
+         are owned by live pages. *)
+      Some (Bytes.make Privateer_machine.Memory.page_size t.fill)
+  end
+
+let deposit t b =
+  if t.free_len >= t.cap then t.evictions <- t.evictions + 1
+  else begin
+    t.free <- b :: t.free;
+    t.free_len <- t.free_len + 1;
+    if t.free_len > t.high_water then t.high_water <- t.free_len
+  end
+
+let stats t =
+  { swaps = t.swaps; recycled = t.recycled; evictions = t.evictions;
+    high_water = t.high_water }

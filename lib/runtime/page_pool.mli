@@ -1,0 +1,57 @@
+(** Free-list pool of pre-filled page buffers for the interval-reset
+    swap path.
+
+    A fully-timestamped shadow page ([Memory.timestamp_bytes] equal to
+    [Memory.page_size]) resets to a constant byte; instead of
+    rewriting 4096 bytes in place, {!Shadow.reset_interval} swaps the
+    page's backing store with an {!acquire}d buffer (already holding
+    the reset value everywhere), defers the retired buffer's refill to
+    the host-parallel phase, and {!deposit}s it back for the next
+    interval.
+
+    Not thread-safe: the free list is only touched from the sequential
+    phases of the reset.  The parallel phase may fill the {e bytes} of
+    buffers it was handed, but never calls into the pool. *)
+
+type t
+
+(** Counter snapshot (see {!stats}). *)
+type stats = {
+  swaps : int;  (** buffers handed out for swap-retirement *)
+  recycled : int;  (** hand-outs served from the free list (the rest
+                       were freshly minted) *)
+  evictions : int;  (** refilled buffers dropped at the cap *)
+  high_water : int;  (** max free-list length ever observed *)
+}
+
+val unbounded : int
+(** A cap that never evicts ([max_int]). *)
+
+(** [create ~cap ~fill ()] makes a pool of buffers pre-filled with
+    [fill].  [cap] (default {!unbounded}) bounds the {e free list}:
+    a deposit beyond it drops the buffer (eviction) so idle pools shed
+    memory; buffers handed out to live pages are not counted.
+    [cap = 0] disables the pool — {!acquire} always returns [None].
+    @raise Invalid_argument if [cap < 0]. *)
+val create : ?cap:int -> fill:char -> unit -> t
+
+val cap : t -> int
+val fill : t -> char
+
+val enabled : t -> bool
+(** [cap t > 0]. *)
+
+val ready : t -> int
+(** Buffers currently on the free list. *)
+
+(** A page-sized buffer with every byte equal to [fill t] — recycled
+    from the free list when possible, freshly minted otherwise.
+    [None] iff the pool is disabled ([cap = 0]). *)
+val acquire : t -> Bytes.t option
+
+(** Return a buffer to the free list for recycling.  The caller must
+    have re-filled it with [fill t] first.  Dropped (and counted as an
+    eviction) when the free list is at the cap. *)
+val deposit : t -> Bytes.t -> unit
+
+val stats : t -> stats

@@ -16,6 +16,7 @@
 
 open Privateer_ir
 open Privateer_machine
+module Domain_pool = Privateer_support.Domain_pool
 
 let live_in = 0
 let old_write = 1
@@ -33,7 +34,7 @@ let iteration_of_timestamp ~interval_start m =
   if not (is_timestamp m) then invalid_arg "Shadow.iteration_of_timestamp";
   interval_start + m - first_timestamp
 
-type op = Read | Write
+type op = Shadow_sig.op = Read | Write
 
 type verdict = Keep | Update of int | Fail of (addr:int -> Misspec.reason)
 
@@ -63,7 +64,12 @@ let transition op ~current ~beta : verdict =
    first byte that actually needs an update, and the page summary flag
    matching the operation (timestamps for writes, read-live-in marks
    for reads) is raised at the same moment — so checkpoint extraction
-   and metadata reset can skip unflagged pages wholesale.
+   and metadata reset can skip unflagged pages wholesale.  Write
+   promotions additionally maintain the page's exact timestamp-byte
+   count (a byte entering the >= first_timestamp range from below),
+   which is what lets the reset retire fully-timestamped pages by
+   buffer swap instead of rewrite; the count is flushed to the page
+   before any raise so partial updates stay consistent.
    Byte-for-byte equivalent to [Shadow_reference.access] (asserted by
    a qcheck property): same final metadata, same verdict at the same
    byte, same partial updates before a failing byte. *)
@@ -82,16 +88,27 @@ let access machine op ~addr ~size ~beta =
         | Some p -> Some (Memory.page_bytes p)
         | None -> None)
     in
+    let page = ref None in
     let writable = ref false in
+    let added = ref 0 in
     let promote () =
       let p = Memory.touch_page mem shadow_base in
       (match op with
       | Write -> Memory.flag_timestamp p
       | Read -> Memory.flag_live_in_read p);
       writable := true;
+      page := Some p;
       let b = Memory.page_bytes p in
       bytes := Some b;
       b
+    in
+    let flush_count () =
+      if !added > 0 then begin
+        (match !page with
+        | Some p -> Memory.add_timestamp_bytes p !added
+        | None -> assert false (* counted bytes were written via promote *));
+        added := 0
+      end
     in
     for i = 0 to chunk - 1 do
       let current =
@@ -103,45 +120,133 @@ let access machine op ~addr ~size ~beta =
       | Keep -> ()
       | Update m ->
         let b = match !bytes with Some b when !writable -> b | _ -> promote () in
+        if m >= first_timestamp && current < first_timestamp then incr added;
         Bytes.unsafe_set b (off + i) (Char.unsafe_chr m)
-      | Fail mk -> raise (Misspec.Misspeculation (mk ~addr:(private_base + i)))
+      | Fail mk ->
+        flush_count ();
+        raise (Misspec.Misspeculation (mk ~addr:(private_base + i)))
     done;
+    flush_count ();
     pos := !pos + chunk;
     remaining := !remaining - chunk
   done
+
+(* In-place rewrite of one page's buffer: timestamps become old-write,
+   everything else is preserved.  Pure [Bytes] mutation — safe to run
+   on any domain as long as no other task touches this buffer. *)
+let scan_rewrite bytes =
+  let off = ref 0 in
+  while !off < Memory.page_size do
+    (* Word-wise skip: an all-zero word is all live-in. *)
+    if Bytes.get_int64_le bytes !off = 0L then off := !off + 8
+    else begin
+      let fin = !off + 8 in
+      while !off < fin do
+        if Char.code (Bytes.unsafe_get bytes !off) >= first_timestamp then
+          Bytes.unsafe_set bytes !off (Char.unsafe_chr old_write);
+        incr off
+      done
+    end
+  done
+
+(* Split [jobs] into at most [n] round-robin-sized chunks, preserving
+   nothing about order (the jobs are independent byte mutations). *)
+let chunk_jobs n jobs =
+  let total = List.length jobs in
+  if total = 0 then []
+  else begin
+    let n = max 1 (min n total) in
+    let per = (total + n - 1) / n in
+    let rec take k acc rest =
+      if k = 0 then (List.rev acc, rest)
+      else
+        match rest with
+        | [] -> (List.rev acc, [])
+        | x :: tl -> take (k - 1) (x :: acc) tl
+    in
+    let rec split rest acc =
+      match rest with
+      | [] -> List.rev acc
+      | _ ->
+        let chunk, rest = take per [] rest in
+        split rest (chunk :: acc)
+    in
+    split jobs []
+  end
 
 (* Checkpoint-time metadata reset: all timestamps become old-write.
    Returns the number of shadow pages in the cost model's sense — every
    mapped shadow page, exactly as before the page-index refactor, so
    simulated cycle charges are unchanged.  Host work is proportional
    only to pages whose [any_timestamp] summary flag is set: the rest
-   provably hold no timestamps and are skipped without a scan. *)
-let reset_interval machine =
+   provably hold no timestamps and are skipped without a scan.
+
+   Host structure (invisible to the simulation — same final metadata,
+   same return value at every pool size and cap):
+
+   1. sequential: copy-on-write promotion of every flagged page,
+      flag/count clears, and the swap decision — a page whose exact
+      timestamp count equals the page size resets to a constant, so
+      when the page pool can supply a pre-filled buffer the reset is a
+      pointer exchange and the old buffer is retired;
+   2. parallel (over [pool] when given): the disjoint [Bytes] work —
+      word-wise scan-rewrites of surviving buffers and constant refills
+      of retired ones.  Nothing here touches the page table, the dirty
+      set, or the pool's free list;
+   3. sequential: deposit the refilled buffers for recycling at the
+      next interval. *)
+let reset_interval ?pool ?page_pool machine =
   let mem = machine.Machine.mem in
   let mapped = Memory.mapped_page_count mem ~heap:Heap.Shadow in
+  (match page_pool with
+  | Some pp when Char.code (Page_pool.fill pp) <> old_write ->
+    invalid_arg "Shadow.reset_interval: page pool fill byte is not old_write"
+  | Some _ | None -> ());
   (* Collect first: resetting clones shared pages, which mutates the
      bank being folded over. *)
   let flagged =
     Memory.fold_pages mem ~heap:Heap.Shadow ~init:[] ~f:(fun ~key page acc ->
         if Memory.any_timestamp page then key :: acc else acc)
   in
+  let jobs = ref [] in
+  let retired = ref [] in
   List.iter
     (fun key ->
       let p = Memory.touch_page mem (Memory.base_of_page key) in
-      let bytes = Memory.page_bytes p in
-      let off = ref 0 in
-      while !off < Memory.page_size do
-        (* Word-wise skip: an all-zero word is all live-in. *)
-        if Bytes.get_int64_le bytes !off = 0L then off := !off + 8
-        else begin
-          let fin = !off + 8 in
-          while !off < fin do
-            if Char.code (Bytes.unsafe_get bytes !off) >= first_timestamp then
-              Bytes.unsafe_set bytes !off (Char.unsafe_chr old_write);
-            incr off
-          done
-        end
-      done;
-      Memory.clear_timestamp_flag p)
+      let fully = Memory.timestamp_bytes p = Memory.page_size in
+      Memory.clear_timestamp_flag p;
+      let swapped =
+        fully
+        && (match page_pool with
+           | None -> false
+           | Some pp -> (
+             match Page_pool.acquire pp with
+             | None -> false
+             | Some fresh ->
+               retired := Memory.swap_bytes p fresh :: !retired;
+               true))
+      in
+      if not swapped then begin
+        let bytes = Memory.page_bytes p in
+        jobs := (fun () -> scan_rewrite bytes) :: !jobs
+      end)
     flagged;
+  (match page_pool with
+  | Some pp ->
+    let fill = Page_pool.fill pp in
+    List.iter
+      (fun b ->
+        jobs := (fun () -> Bytes.fill b 0 Memory.page_size fill) :: !jobs)
+      !retired
+  | None -> ());
+  (match pool with
+  | Some dp when Domain_pool.size dp > 1 ->
+    let chunks = chunk_jobs (Domain_pool.size dp * 2) !jobs in
+    ignore
+      (Domain_pool.run dp
+         (List.map (fun fs () -> List.iter (fun f -> f ()) fs) chunks))
+  | Some _ | None -> List.iter (fun f -> f ()) !jobs);
+  (match page_pool with
+  | Some pp -> List.iter (Page_pool.deposit pp) !retired
+  | None -> ());
   mapped

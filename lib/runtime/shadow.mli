@@ -38,8 +38,10 @@ val is_timestamp : int -> bool
     @raise Invalid_argument if the byte is not a timestamp. *)
 val iteration_of_timestamp : interval_start:int -> int -> int
 
-(** The two private-access kinds Table 2 distinguishes. *)
-type op = Read | Write
+(** The two private-access kinds Table 2 distinguishes (re-export of
+    {!Shadow_sig.op} so this module satisfies
+    {!Shadow_sig.module-type-S} alongside {!Shadow_reference}). *)
+type op = Shadow_sig.op = Read | Write
 
 type verdict =
   | Keep  (** metadata unchanged *)
@@ -54,8 +56,9 @@ val transition : op -> current:int -> beta:int -> verdict
     access on the given worker machine.  Range-granular: one page
     resolution per contiguous run, metadata transitioned directly on
     the page bytes, page summary flags raised for the checkpoint and
-    reset scans.  Byte-for-byte equivalent to
-    [Shadow_reference.access] (property-tested).
+    reset scans, and the exact per-page timestamp-byte count
+    maintained for the reset's swap-retirement path.  Byte-for-byte
+    equivalent to [Shadow_reference.access] (property-tested).
     @raise Misspec.Misspeculation on a violation. *)
 val access :
   Privateer_machine.Machine.t -> op -> addr:int -> size:int -> beta:int -> unit
@@ -63,6 +66,19 @@ val access :
 (** Checkpoint-time reset: every timestamp becomes old-write (code 1);
     read-live-in marks are preserved.  Returns the number of mapped
     shadow pages — the unchanged simulated cost charge — while host
-    work visits only pages whose [any_timestamp] summary flag is
-    set. *)
-val reset_interval : Privateer_machine.Machine.t -> int
+    work visits only pages whose [any_timestamp] summary flag is set.
+
+    Host accelerations, neither of which moves a simulated cycle or a
+    metadata byte: [pool] fans the per-page byte work (disjoint by
+    construction of the per-heap page banks) over a domain pool, and
+    [page_pool] retires fully-timestamped pages (exact count equal to
+    [Memory.page_size]) by swapping in a pre-filled buffer instead of
+    rewriting 4096 bytes, with retired buffers refilled off the
+    sequential path and recycled across intervals.
+    @raise Invalid_argument if [page_pool]'s fill byte is not
+    [old_write]. *)
+val reset_interval :
+  ?pool:Privateer_support.Domain_pool.t ->
+  ?page_pool:Page_pool.t ->
+  Privateer_machine.Machine.t ->
+  int

@@ -30,7 +30,11 @@ let access machine op ~addr ~size ~beta =
     | Shadow.Fail mk -> raise (Misspec.Misspeculation (mk ~addr:b))
   done
 
-let reset_interval machine =
+(* The oracle ignores both host accelerations: it always resets
+   sequentially, in place, per byte.  The optional arguments exist so
+   it satisfies [Shadow_sig.S] and the property tests can drive either
+   implementation through one functor. *)
+let reset_interval ?pool:_ ?page_pool:_ machine =
   let mem = machine.Machine.mem in
   let pages =
     List.filter

@@ -1,0 +1,17 @@
+(** The retained per-byte reference implementation of the shadow-heap
+    metadata operations — the pre-page-index code, kept as an oracle.
+
+    It satisfies the same {!Shadow_sig.module-type-S} signature as the
+    optimized {!Shadow}, so property tests functorize over the two and
+    compare their observable effects byte for byte; the [overhead]
+    bench experiment reports the host-time ratio between them.
+
+    It resolves a page per byte through the generic [Memory] accessors
+    and does {b not} maintain the per-page summary flags or the exact
+    timestamp-byte counts, so a machine driven through this module
+    must not be handed to the flag-driven fast paths
+    ([Shadow.reset_interval], checkpoint extraction).  Its
+    [reset_interval] ignores the host-acceleration arguments and
+    always rewrites sequentially in place. *)
+
+include Shadow_sig.S

@@ -199,26 +199,152 @@ let test_violation_reports_smallest_addr () =
   | Some (Misspec.Phase2 { addr }) -> check_int "smallest conflict" (base + 8) addr
   | _ -> Alcotest.fail "expected a phase-2 violation"
 
+(* ---- pooled / domain-parallel interval reset ---------------------------- *)
+
+(* Page-scale accesses so fully-timestamped shadow pages (the
+   swap-retirement path) actually occur: writes cover up to two whole
+   pages, and resets recycle retired buffers through a shared
+   [Page_pool] across intervals.  The plain sequential reset is the
+   oracle; the pooled + domain-parallel reset must leave byte-identical
+   metadata and verdicts. *)
+let big_op_gen =
+  QCheck.Gen.(
+    let page = Memory.page_size in
+    frequency
+      [ ( 6,
+          map2
+            (fun (w, off) (size, beta) ->
+              Test_props.Access { write = w; off; size; beta })
+            (pair bool (map (fun p -> p * page) (int_bound 3)))
+            (pair (oneofl [ page; 2 * page; 17; page + 9 ]) (int_range 3 250)) );
+        (2, return Test_props.Reset) ])
+
+let big_ops_arb =
+  QCheck.make
+    ~print:(fun ops -> string_of_int (List.length ops) ^ " page-scale ops")
+    QCheck.Gen.(list_size (int_range 2 24) big_op_gen)
+
+let fresh_page_pool ?cap () =
+  Page_pool.create ?cap ~fill:(Char.chr Shadow.old_write) ()
+
+let prop_pooled_reset_matches_plain ops =
+  let plain_m, plain_f = Test_props.Run_shadow.run ops in
+  let page_pool = fresh_page_pool () in
+  let pooled_m, pooled_f =
+    Test_props.Run_shadow.run ~pool:(Lazy.force pool) ~page_pool ops
+  in
+  (* Pool-recycled pages must be indistinguishable from rewritten
+     ones; a disabled pool (cap 0) must behave like no pool at all. *)
+  let disabled_m, disabled_f =
+    Test_props.Run_shadow.run ~page_pool:(fresh_page_pool ~cap:0 ()) ops
+  in
+  let ref_m, ref_f = Test_props.Run_reference.run ops in
+  plain_f = pooled_f && plain_f = disabled_f && plain_f = ref_f
+  && Memory.equal_footprint plain_m.Machine.mem pooled_m.Machine.mem
+  && Memory.equal_footprint plain_m.Machine.mem disabled_m.Machine.mem
+  && Memory.equal_footprint plain_m.Machine.mem ref_m.Machine.mem
+
+(* ---- the page pool itself ----------------------------------------------- *)
+
+let test_page_pool_eviction () =
+  let pp = fresh_page_pool ~cap:2 () in
+  let take () =
+    match Page_pool.acquire pp with
+    | Some b ->
+      check_int "pre-filled page-sized buffer" Memory.page_size (Bytes.length b);
+      check "every byte is the fill" true
+        (Bytes.for_all (fun c -> c = Page_pool.fill pp) b);
+      b
+    | None -> Alcotest.fail "acquire returned None on an enabled pool"
+  in
+  let b1 = take () and b2 = take () and b3 = take () in
+  List.iter (Page_pool.deposit pp) [ b1; b2; b3 ];
+  let s = Page_pool.stats pp in
+  check_int "high-water stops at the cap" 2 s.Page_pool.high_water;
+  check_int "third deposit evicted" 1 s.Page_pool.evictions;
+  check_int "free list at cap" 2 (Page_pool.ready pp);
+  (* The next interval recycles instead of minting. *)
+  ignore (take ());
+  check_int "recycled from the free list" 1 (Page_pool.stats pp).Page_pool.recycled
+
+let test_page_pool_disabled () =
+  let pp = fresh_page_pool ~cap:0 () in
+  check "cap 0 disables acquire" true (Page_pool.acquire pp = None);
+  check "cap 0 reports disabled" false (Page_pool.enabled pp);
+  check_int "no swaps counted" 0 (Page_pool.stats pp).Page_pool.swaps
+
+let test_page_pool_swap_stats () =
+  (* A full-page write then a pooled reset must take the swap path. *)
+  let m = Machine.create () in
+  Memory.clear_dirty m.Machine.mem;
+  let base = Heap.base Heap.Private in
+  Shadow.access m Shadow.Write ~addr:base ~size:Memory.page_size ~beta:3;
+  let pp = fresh_page_pool () in
+  ignore (Shadow.reset_interval ~page_pool:pp m);
+  check_int "fully-timestamped page swapped" 1 (Page_pool.stats pp).Page_pool.swaps;
+  check_int "retired buffer deposited" 1 (Page_pool.ready pp);
+  (* A partially-timestamped page must not be swapped. *)
+  Shadow.access m Shadow.Write ~addr:base ~size:24 ~beta:3;
+  ignore (Shadow.reset_interval ~page_pool:pp m);
+  check_int "partial page rewritten in place" 1 (Page_pool.stats pp).Page_pool.swaps
+
+let test_page_pool_fill_validation () =
+  let m = Machine.create () in
+  check "wrong fill byte rejected" true
+    (try
+       ignore
+         (Shadow.reset_interval ~page_pool:(Page_pool.create ~fill:'\000' ()) m);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- merge-state isolation (regression) ---------------------------------- *)
+
+(* [Checkpoint.index_ops] counts per merge state (reachable per-cohort
+   as [Commit.index_ops ctx]), so two pipelines interleaving in one
+   process cannot contaminate each other's zero-index-work baseline. *)
+let test_merge_state_isolation () =
+  let base = Heap.base Heap.Private in
+  let s1 = Checkpoint.create_merge_state () in
+  let s2 = Checkpoint.create_merge_state () in
+  ignore (Checkpoint.merge ~state:s1 [ writer 1 (base + 8) 42 0 ]);
+  let ops1 = Checkpoint.index_ops s1 in
+  check "s1 did index work" true (ops1 > 0);
+  (* A concurrent pipeline's clean interval stays at zero even though
+     s1 wrote. *)
+  let m2 = Checkpoint.merge ~state:s2 [ reader_only 0 (base + 64) ] in
+  check "s2 clean merge" true (m2.violation = None);
+  check_int "s2 unaffected by s1's work" 0 (Checkpoint.index_ops s2);
+  check_int "s1 unaffected by s2's merge" ops1 (Checkpoint.index_ops s1)
+
 (* ---- full-pipeline equality --------------------------------------------- *)
 
+(* The whole host-tuning matrix — host_domains {1, 3} x pool cap
+   {0, unbounded} — must be byte-identical: output, result, simulated
+   cycles, every stats counter. *)
 let prop_pipeline_identical_across_host_domains tmpls =
   let src = Test_props.program_of_templates tmpls in
   let program = Privateer.Pipeline.parse src in
   let tr, _ = Privateer.Pipeline.compile program in
-  let run host_domains =
+  let run (host_domains, pool_cap) =
     let config =
-      { Privateer_parallel.Executor.default_config with workers = 5; host_domains }
+      { Privateer_parallel.Executor.default_config with workers = 5; host_domains;
+        pool_cap }
     in
     Privateer.Pipeline.run_parallel ~config tr
   in
-  let a = run 1 and b = run 3 in
-  String.equal a.par_output b.par_output
-  && Privateer_interp.Value.equal a.par_result b.par_result
-  && a.par_cycles = b.par_cycles
-  && a.stats.checkpoints = b.stats.checkpoints
-  && a.stats.wall_cycles = b.stats.wall_cycles
-  && a.stats.private_bytes_read = b.stats.private_bytes_read
-  && a.stats.private_bytes_written = b.stats.private_bytes_written
+  let a = run (1, 0) in
+  List.for_all
+    (fun cell ->
+      let b = run cell in
+      String.equal a.par_output b.par_output
+      && Privateer_interp.Value.equal a.par_result b.par_result
+      && a.par_cycles = b.par_cycles
+      && a.stats.checkpoints = b.stats.checkpoints
+      && a.stats.wall_cycles = b.stats.wall_cycles
+      && a.stats.private_bytes_read = b.stats.private_bytes_read
+      && a.stats.private_bytes_written = b.stats.private_bytes_written)
+    [ (1, Privateer_runtime.Page_pool.unbounded); (3, 0);
+      (3, Privateer_runtime.Page_pool.unbounded) ]
 
 (* ---- the pool itself ---------------------------------------------------- *)
 
@@ -258,10 +384,21 @@ let suite =
         worker_ops_arb prop_parallel_extraction_equals_sequential;
       QCheck.Test.make ~count:60 ~name:"incremental merge = rebuilt index"
         intervals_arb prop_incremental_merge_equals_rebuilt;
-      QCheck.Test.make ~count:15 ~name:"pipeline identical at host_domains 3 vs 1"
+      QCheck.Test.make ~count:120 ~name:"pooled parallel reset = plain reset"
+        big_ops_arb prop_pooled_reset_matches_plain;
+      QCheck.Test.make ~count:15 ~name:"pipeline identical across domains x pool cap"
         Test_props.body_arb prop_pipeline_identical_across_host_domains ]
   @ [ Alcotest.test_case "clean interval: zero index ops" `Quick
         test_clean_interval_no_index_work;
+      Alcotest.test_case "merge states are isolated" `Quick
+        test_merge_state_isolation;
+      Alcotest.test_case "page pool: high-water eviction" `Quick
+        test_page_pool_eviction;
+      Alcotest.test_case "page pool: cap 0 disables" `Quick test_page_pool_disabled;
+      Alcotest.test_case "page pool: swap only full pages" `Quick
+        test_page_pool_swap_stats;
+      Alcotest.test_case "page pool: fill byte validated" `Quick
+        test_page_pool_fill_validation;
       Alcotest.test_case "writing interval sweeps its delta" `Quick
         test_writing_interval_sweeps_delta;
       Alcotest.test_case "violation pinned to smallest address" `Quick

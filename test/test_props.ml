@@ -199,8 +199,43 @@ let prop_shadow_vs_oracle history =
    per-byte implementation.  Under random op/addr/size/beta sequences
    (addresses biased to straddle page boundaries, occasional interval
    resets to stress the flag-driven reset path) both must produce the
-   same verdicts at the same op index and byte-identical metadata. *)
+   same verdicts at the same op index and byte-identical metadata.
+
+   Both implementations satisfy [Shadow_sig.S], so the op-list driver
+   is a functor over the signature: the same workload replays against
+   any implementation, and [test_host_parallel] reuses the instances
+   to pin the pooled/domain-parallel reset against the plain one. *)
 type sh_op = Access of { write : bool; off : int; size : int; beta : int } | Reset
+
+module Shadow_equiv (S : Privateer_runtime.Shadow_sig.S) = struct
+  (* Replay [ops] on a fresh machine through [S]; returns the machine
+     and the first failure (op index + structural misspec reason).
+     [pool]/[page_pool] thread through to [S.reset_interval] — host
+     accelerations the oracle ignores and the optimized path must not
+     let show. *)
+  let run ?pool ?page_pool ops =
+    let open Privateer_machine in
+    let open Privateer_runtime in
+    let base = Privateer_ir.Heap.base Privateer_ir.Heap.Private in
+    let m = Machine.create () in
+    let fail = ref None in
+    List.iteri
+      (fun idx op ->
+        if !fail = None then
+          match op with
+          | Reset -> ignore (S.reset_interval ?pool ?page_pool m)
+          | Access a -> (
+            try
+              S.access m
+                (if a.write then Shadow_sig.Write else Shadow_sig.Read)
+                ~addr:(base + a.off) ~size:a.size ~beta:a.beta
+            with Misspec.Misspeculation r -> fail := Some (idx, r)))
+      ops;
+    (m, !fail)
+end
+
+module Run_shadow = Shadow_equiv (Privateer_runtime.Shadow)
+module Run_reference = Shadow_equiv (Privateer_runtime.Shadow_reference)
 
 let sh_op_gen =
   QCheck.Gen.(
@@ -234,27 +269,8 @@ let sh_ops_arb =
 
 let prop_range_access_matches_reference ops =
   let open Privateer_machine in
-  let open Privateer_runtime in
-  let base = Privateer_ir.Heap.base Privateer_ir.Heap.Private in
-  let run access reset =
-    let m = Machine.create () in
-    let fail = ref None in
-    List.iteri
-      (fun idx op ->
-        if !fail = None then
-          match op with
-          | Reset -> ignore (reset m)
-          | Access a -> (
-            try
-              access m
-                (if a.write then Shadow.Write else Shadow.Read)
-                ~addr:(base + a.off) ~size:a.size ~beta:a.beta
-            with Misspec.Misspeculation r -> fail := Some (idx, r)))
-      ops;
-    (m, !fail)
-  in
-  let m_new, f_new = run Shadow.access (fun m -> Shadow.reset_interval m) in
-  let m_ref, f_ref = run Shadow_reference.access (fun m -> Shadow_reference.reset_interval m) in
+  let m_new, f_new = Run_shadow.run ops in
+  let m_ref, f_ref = Run_reference.run ops in
   (* Same failing op index and structurally equal verdict (Misspec
      reasons are pure data), and byte-identical memories afterwards. *)
   f_new = f_ref && Memory.equal_footprint m_new.Machine.mem m_ref.Machine.mem
