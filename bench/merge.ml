@@ -1,0 +1,357 @@
+(* The `merge` experiment: host-time scaling of the sharded phase-2
+   merge over OCaml domains, the early-exit extraction scan, and the
+   adaptive shadow-pool cap.
+
+   Four measurements:
+
+   - merge wall time over 1/2/4/8 host domains on a dense multi-worker
+     interval (8 workers x 3000 overlapping words each + 512 live-in
+     probes per worker), through a carried 8-shard merge state.  One
+     domain is the sequential baseline (single routed pass); more
+     domains run the fill / validate / sweep passes as per-shard jobs.
+     Per-phase host time is reported from the state's accumulated
+     timings.  As in `interval_reset`, the curve depends on the cores
+     the host actually has -- `host_cores` is recorded next to the
+     numbers so a 1-core CI container's flat curve is not mistaken for
+     a regression;
+   - the early-exit extraction scan: three 16-page footprints with
+     identical extraction work per kind -- 8 marked words at each page
+     head, the same 8 words at each page tail, and fully-marked pages.
+     Head vs tail isolates the early exit itself (same marks, the tail
+     variant must walk the whole page to find them), dense shows the
+     cost scan distance no longer dominates;
+   - fixed vs adaptive pool cap on a phase-shifting reset footprint
+     (32 -> 4 -> 16 fully-timestamped pages): the unbounded pool keeps
+     its high-water buffer count forever, a small fixed cap evicts
+     through the big phase, `auto` tracks each phase's retirement
+     footprint.  Free-list high water, evictions, ready buffers and
+     the learned cap are reported per mode;
+   - simulated-cycle identity: dijkstra across merge_shards {1, 4, 7}
+     x host_domains {1, 3} x pool cap {0, auto, unbounded} must report
+     byte-identical output and the same wall cycles and checkpoint
+     count as the (1 domain, cap 0, 1 shard) baseline -- no host knob
+     is allowed to move the cycle model.
+
+   Results go to BENCH_merge.json; iteration counts scale down via
+   MERGE_ITERS (CI smoke runs use a small value). *)
+
+open Privateer_ir
+open Privateer_machine
+open Privateer_runtime
+open Privateer_support
+
+let iters () =
+  match Sys.getenv_opt "MERGE_ITERS" with
+  | Some s -> (try max 1 (int_of_string s) with Failure _ -> 40)
+  | None -> 40
+
+let time_ns = Overhead.time_ns
+
+(* ---- the dense merge footprint ------------------------------------------ *)
+
+let n_workers = 8
+let words_per_worker = 3000
+let live_in_per_worker = 512
+let shards = 8
+
+(* Synthetic interval contributions: worker [w] writes words
+   [w*1500, w*1500 + 3000), so adjacent workers overlap on half their
+   range (exercising the multi-writer index path), and probes 512
+   live-in byte addresses far above every written word (each costs a
+   phase-2 index lookup that misses -- the interval is clean). *)
+let contribs () =
+  let base = Heap.base Heap.Private in
+  List.init n_workers (fun w ->
+      let writes = Hashtbl.create (words_per_worker * 2) in
+      for i = 0 to words_per_worker - 1 do
+        let addr = base + (((w * (words_per_worker / 2)) + i) * 8) in
+        Hashtbl.replace writes addr
+          { Checkpoint.iter = w; bits = Int64.of_int ((w * 100000) + i);
+            is_float = false }
+      done;
+      let live = Hashtbl.create (live_in_per_worker * 2) in
+      for i = 0 to live_in_per_worker - 1 do
+        Hashtbl.replace live
+          (base + (1 lsl 22) + (((w * live_in_per_worker) + i) * 8))
+          ()
+      done;
+      { Checkpoint.worker = w; writes; live_in_reads = live; redux_words = [];
+        reg_partials = [];
+        pages_touched = words_per_worker * 8 / Memory.page_size })
+
+(* ns per merge of the dense interval through a carried 8-shard state
+   (the sweep returns the state to empty, so every round runs the same
+   delta).  Returns total ns plus per-call phase-time averages. *)
+let bench_merge domains =
+  let cs = contribs () in
+  let state = Checkpoint.create_merge_state ~shards () in
+  let rounds = iters () in
+  let run pool =
+    time_ns ~rounds ~reps:1 (fun () ->
+        ignore (Checkpoint.merge ~state ?pool cs))
+  in
+  let ns =
+    if domains = 1 then run None
+    else begin
+      let pool = Domain_pool.create ~domains in
+      let ns = run (Some pool) in
+      Domain_pool.shutdown pool;
+      ns
+    end
+  in
+  (* time_ns runs one untimed warmup call plus [rounds] timed calls,
+     all through the same state. *)
+  let calls = float_of_int (rounds + 1) in
+  let pt = Checkpoint.phase_timings state in
+  ( ns, pt.Checkpoint.fill_ns /. calls, pt.Checkpoint.validate_ns /. calls,
+    pt.Checkpoint.sweep_ns /. calls )
+
+(* ---- the early-exit extraction scan ------------------------------------- *)
+
+let scan_pages = 16
+let sparse_marks = 8
+
+type scan_kind = Head | Tail | Dense
+
+(* [scan_pages] private shadow pages, each marked per [kind]:
+   [sparse_marks] words at the page head, the same count at the page
+   tail, or wall-to-wall timestamps.  beta = 5 puts every mark at or
+   above [first_timestamp]. *)
+let scan_machine kind =
+  let m = Machine.create () in
+  Memory.clear_dirty m.Machine.mem;
+  for p = 0 to scan_pages - 1 do
+    let base = Heap.base Heap.Private + (p * Memory.page_size) in
+    let mark off = Shadow.access m Shadow.Write ~addr:(base + off) ~size:8 ~beta:5 in
+    match kind with
+    | Head -> for i = 0 to sparse_marks - 1 do mark (i * 8) done
+    | Tail ->
+      for i = 0 to sparse_marks - 1 do
+        mark (Memory.page_size - (sparse_marks * 8) + (i * 8))
+      done
+    | Dense -> for i = 0 to (Memory.page_size / 8) - 1 do mark (i * 8) done
+  done;
+  m
+
+(* Extraction does not mutate, so rounds share one populated machine. *)
+let bench_scan kind =
+  let m = scan_machine kind in
+  time_ns ~rounds:(iters ()) ~reps:1 (fun () ->
+      ignore
+        (Checkpoint.contribution_of_worker ~worker:0 ~interval_start:0 m
+           ~redux_ranges:[] ~reg_partials:[]))
+
+(* ---- fixed vs adaptive pool cap ----------------------------------------- *)
+
+(* Reset-footprint phases: (intervals, fully-timestamped pages). *)
+let pool_phases = [ (10, 32); (20, 4); (10, 16) ]
+
+let phase_footprint pages =
+  let m = Machine.create () in
+  Memory.clear_dirty m.Machine.mem;
+  for p = 0 to pages - 1 do
+    let base = Heap.base Heap.Private + (p * Memory.page_size) in
+    for i = 0 to (Memory.page_size / 8) - 1 do
+      Shadow.access m Shadow.Write ~addr:(base + (i * 8)) ~size:8 ~beta:5
+    done
+  done;
+  m
+
+(* Run the phase-shifting reset sequence against one pool; the reset's
+   sequential tail reports each interval's retirement footprint, which
+   is what the auto cap learns from. *)
+let run_pool_scenario cap =
+  let pool = Page_pool.create ~cap ~fill:(Char.chr Shadow.old_write) () in
+  List.iter
+    (fun (intervals, pages) ->
+      for _ = 1 to intervals do
+        ignore (Shadow.reset_interval ~page_pool:pool (phase_footprint pages))
+      done)
+    pool_phases;
+  (Page_pool.stats pool, Page_pool.ready pool, Page_pool.current_cap pool)
+
+let cap_label cap =
+  if cap = Page_pool.auto then "auto"
+  else if cap = Page_pool.unbounded then "unbounded"
+  else string_of_int cap
+
+(* ---- simulated-cycle identity ------------------------------------------- *)
+
+let identity_matrix () =
+  let c = Harness.compiled Privateer_workloads.Dijkstra.workload in
+  let open Privateer.Pipeline in
+  let base = Harness.run_parallel ~host_domains:1 ~pool_cap:0 ~merge_shards:1 c in
+  let cells =
+    List.concat_map
+      (fun merge_shards ->
+        List.concat_map
+          (fun domains ->
+            List.map
+              (fun cap ->
+                let par =
+                  Harness.run_parallel ~host_domains:domains ~pool_cap:cap
+                    ~merge_shards c
+                in
+                let identical =
+                  base.par_cycles = par.par_cycles
+                  && base.stats.wall_cycles = par.stats.wall_cycles
+                  && base.stats.checkpoints = par.stats.checkpoints
+                  && String.equal base.par_output par.par_output
+                in
+                (merge_shards, domains, cap, par, identical))
+              [ 0; Page_pool.auto; Page_pool.unbounded ])
+          [ 1; 3 ])
+      [ 1; 4; 7 ]
+  in
+  (base, cells)
+
+(* ---- driver ------------------------------------------------------------- *)
+
+let run () =
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "\n================ merge: sharded phase-2 merge over OCaml domains ================\n\n";
+  Printf.printf
+    "footprint: %d workers x %d words (half-overlapping) + %d live-in probes each, %d shards; host cores: %d\n\n"
+    n_workers words_per_worker live_in_per_worker shards cores;
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  let curve = List.map (fun d -> (d, bench_merge d)) domain_counts in
+  let t_seq =
+    match curve with (_, (ns, _, _, _)) :: _ -> ns | [] -> assert false
+  in
+  let t =
+    Table.create
+      ~aligns:
+        [ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right ]
+      [ "host domains"; "merge us"; "fill us"; "validate us"; "sweep us";
+        "speedup vs 1" ]
+  in
+  List.iter
+    (fun (d, (ns, fill, validate, sweep)) ->
+      Table.add_row t
+        [ string_of_int d; Printf.sprintf "%.1f" (ns /. 1e3);
+          Printf.sprintf "%.1f" (fill /. 1e3);
+          Printf.sprintf "%.1f" (validate /. 1e3);
+          Printf.sprintf "%.1f" (sweep /. 1e3);
+          Printf.sprintf "%.2fx" (t_seq /. ns) ])
+    curve;
+  Table.print t;
+  if cores <= 1 then
+    print_endline
+      "\n(single host core: the domain curve is flat here by construction)";
+
+  let head_ns = bench_scan Head in
+  let tail_ns = bench_scan Tail in
+  let dense_ns = bench_scan Dense in
+  Printf.printf
+    "\nextraction scan (%d pages): %d head marks %.1f us, same marks at tail %.1f us (early-exit win %.2fx), dense %.1f us\n"
+    scan_pages sparse_marks (head_ns /. 1e3) (tail_ns /. 1e3)
+    (tail_ns /. head_ns) (dense_ns /. 1e3);
+
+  let pool_results =
+    List.map
+      (fun cap -> (cap, run_pool_scenario cap))
+      [ Page_pool.unbounded; 8; Page_pool.auto ]
+  in
+  Printf.printf "\npool cap on a %s-page reset sequence:\n"
+    (String.concat " -> "
+       (List.map (fun (_, pages) -> string_of_int pages) pool_phases));
+  let t =
+    Table.create
+      ~aligns:
+        [ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right ]
+      [ "cap"; "swaps"; "recycled"; "evictions"; "high water"; "learned cap" ]
+  in
+  List.iter
+    (fun (cap, ((ps : Page_pool.stats), _ready, current)) ->
+      Table.add_row t
+        [ cap_label cap; string_of_int ps.Page_pool.swaps;
+          string_of_int ps.Page_pool.recycled;
+          string_of_int ps.Page_pool.evictions;
+          string_of_int ps.Page_pool.high_water; cap_label current ])
+    pool_results;
+  Table.print t;
+
+  let base, cells = identity_matrix () in
+  let open Privateer.Pipeline in
+  Printf.printf
+    "\nsimulated identity (dijkstra, 24 workers): 1 domain / cap 0 / 1 shard -> %d wall cycles\n"
+    base.stats.wall_cycles;
+  let all_identical =
+    List.for_all (fun (_, _, _, _, identical) -> identical) cells
+  in
+  List.iter
+    (fun (merge_shards, domains, cap, (par : Privateer.Pipeline.par_run),
+          identical) ->
+      Printf.printf "  %d shards / %d domains / cap %-9s -> %d wall cycles; %s\n"
+        merge_shards domains (cap_label cap) par.stats.wall_cycles
+        (if identical then "identical" else "DIFFERS (BUG)"))
+    cells;
+  Printf.printf "identity matrix: %s\n"
+    (if all_identical then "all cells identical" else "MISMATCH (BUG)");
+
+  let json =
+    let open Json in
+    Obj
+      [ ("experiment", String "merge"); ("host_cores", Int cores);
+        ("iters", Int (iters ()));
+        ( "footprint",
+          Obj
+            [ ("workers", Int n_workers);
+              ("words_per_worker", Int words_per_worker);
+              ("live_in_per_worker", Int live_in_per_worker);
+              ("shards", Int shards) ] );
+        ( "merge_ns",
+          List
+            (List.map
+               (fun (d, (ns, fill, validate, sweep)) ->
+                 Obj
+                   [ ("host_domains", Int d); ("merge_ns", Float ns);
+                     ("fill_ns", Float fill); ("validate_ns", Float validate);
+                     ("sweep_ns", Float sweep);
+                     ("speedup_vs_1", Float (t_seq /. ns)) ])
+               curve) );
+        ( "scan_ns",
+          Obj
+            [ ("pages", Int scan_pages); ("sparse_marks", Int sparse_marks);
+              ("head_ns", Float head_ns); ("tail_ns", Float tail_ns);
+              ("dense_ns", Float dense_ns);
+              ("early_exit_win", Float (tail_ns /. head_ns)) ] );
+        ( "pool_cap",
+          List
+            (List.map
+               (fun (cap, ((ps : Page_pool.stats), ready, current)) ->
+                 Obj
+                   [ ("cap", String (cap_label cap));
+                     ("swaps", Int ps.Page_pool.swaps);
+                     ("recycled", Int ps.Page_pool.recycled);
+                     ("evictions", Int ps.Page_pool.evictions);
+                     ("high_water", Int ps.Page_pool.high_water);
+                     ("ready", Int ready);
+                     ("current_cap", String (cap_label current)) ])
+               pool_results) );
+        ( "simulated_identity",
+          Obj
+            [ ("workload", String "dijkstra");
+              ("baseline_wall_cycles", Int base.stats.wall_cycles);
+              ("all_identical", Bool all_identical);
+              ( "cells",
+                List
+                  (List.map
+                     (fun (merge_shards, domains, cap,
+                           (par : Privateer.Pipeline.par_run), identical) ->
+                       Obj
+                         [ ("merge_shards", Int merge_shards);
+                           ("host_domains", Int domains);
+                           ("pool_cap", String (cap_label cap));
+                           ("wall_cycles", Int par.stats.wall_cycles);
+                           ("identical_to_baseline", Bool identical) ])
+                     cells) ) ] ) ]
+  in
+  let oc = open_out "BENCH_merge.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "\nwrote BENCH_merge.json"

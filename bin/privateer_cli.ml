@@ -177,6 +177,13 @@ let json_report ~seq ~(par : Pipeline.par_run) ~fallbacks =
             ("private_write", Float b.private_write);
             ("checkpoint", Float b.checkpoint); ("spawn_join", Float b.spawn_join);
             ("other", Float b.other) ] );
+      (* Host wall time per merge phase — instrumentation, not part of
+         the deterministic simulation (varies run to run). *)
+      ( "merge_phase_ns",
+        Obj
+          [ ("index_fill", Float stats.ns_merge_fill);
+            ("validate", Float stats.ns_merge_validate);
+            ("sweep", Float stats.ns_merge_sweep) ] );
       ("loops", List loops) ]
 
 let report_run ~seq ~(par : Pipeline.par_run) ~fallbacks =

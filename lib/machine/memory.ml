@@ -56,6 +56,14 @@ type page = {
          is fully timestamped, enabling the swap-and-fill retirement;
          unlike the [any_*] flags this is a count, not a hint, so only
          the shadow layer may write metadata on counted pages. *)
+  mutable live_in_bytes : int;
+      (* exact count of read-live-in marks (metadata = 2) on this
+         page, the read-side mirror of [timestamp_bytes].  Together
+         the two counts bound the marked bytes on a page, letting
+         checkpoint extraction stop a page scan as soon as all marks
+         have been found.  Marks survive the interval reset (live-in
+         reads accumulate across the cohort), so unlike
+         [timestamp_bytes] this count is never bulk-zeroed. *)
 }
 
 type t = {
@@ -70,15 +78,15 @@ let create () =
 let fresh_page () =
   { bytes = Bytes.make page_size '\000'; ftags = Bytes.make words_per_page '\000';
     shared = false; any_timestamp = false; any_live_in_read = false;
-    written_this_interval = false; timestamp_bytes = 0 }
+    written_this_interval = false; timestamp_bytes = 0; live_in_bytes = 0 }
 
-(* The clone inherits the summary flags and the timestamp count: they
-   describe page content, which the copy shares at clone time. *)
+(* The clone inherits the summary flags and the exact mark counts:
+   they describe page content, which the copy shares at clone time. *)
 let clone_page p =
   { bytes = Bytes.copy p.bytes; ftags = Bytes.copy p.ftags; shared = false;
     any_timestamp = p.any_timestamp; any_live_in_read = p.any_live_in_read;
     written_this_interval = p.written_this_interval;
-    timestamp_bytes = p.timestamp_bytes }
+    timestamp_bytes = p.timestamp_bytes; live_in_bytes = p.live_in_bytes }
 
 (* Copy-on-write child: shares every current page with the parent.
    Both sides will clone a shared page on first write. *)
@@ -114,6 +122,8 @@ let clear_timestamp_flag p =
 
 let timestamp_bytes p = p.timestamp_bytes
 let add_timestamp_bytes p n = p.timestamp_bytes <- p.timestamp_bytes + n
+let live_in_bytes p = p.live_in_bytes
+let add_live_in_bytes p n = p.live_in_bytes <- p.live_in_bytes + n
 
 (* Exchange the page's backing store for [replacement], returning the
    old buffer.  Only legal on an unshared page (from [touch_page]): a

@@ -72,6 +72,21 @@ val add_timestamp_bytes : page -> int -> unit
 (** Add a (possibly negative) delta to {!timestamp_bytes}.  Shadow
     layer only. *)
 
+val live_in_bytes : page -> int
+(** Exact count of read-live-in marks (metadata [= 2]) on this page —
+    the read-side mirror of {!timestamp_bytes}.  Maintained solely by
+    the shadow layer ([Shadow.access] adds on the live-in → read-live-in
+    transition) and inherited across copy-on-write cloning.  Live-in
+    marks accumulate across the whole cohort (the interval reset
+    preserves them), so this count is never bulk-zeroed.  Together with
+    {!timestamp_bytes} it bounds the marked bytes on a page, letting
+    checkpoint extraction stop a page scan once every mark has been
+    found. *)
+
+val add_live_in_bytes : page -> int -> unit
+(** Add a (possibly negative) delta to {!live_in_bytes}.  Shadow layer
+    only. *)
+
 val swap_bytes : page -> Bytes.t -> Bytes.t
 (** [swap_bytes p replacement] installs [replacement] as the page's
     backing store and returns the old buffer.  Only legal on an

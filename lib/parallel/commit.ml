@@ -43,14 +43,14 @@ type ctx = {
 }
 
 let make_ctx (env : Worker.env) (st : Interp.t) fr spec ~io ~emit_main ~serial_commit
-    ~pool ~page_pool =
+    ~pool ~page_pool ~merge_shards =
   let ranges = Worker.redux_ranges st spec in
   let reg_ops = Worker.reduction_regs spec in
   { env; ranges; reg_ops; redux_base = Worker.read_redux_base st ranges;
     reg_base =
       List.map (fun (name, _) -> (name, Hashtbl.find fr.Interp.locals name)) reg_ops;
     io; emit_main; serial_commit; pool; page_pool;
-    merge_state = Checkpoint.create_merge_state () }
+    merge_state = Checkpoint.create_merge_state ~shards:merge_shards () }
 
 (* Index work performed by this cohort's carried merge index — a
    per-ctx counter, so concurrent pipelines in one process cannot
@@ -92,8 +92,25 @@ let collect ctx workers ~interval_start =
   contribs
 
 (* Phase-2 validation + last-writer-wins merge through the cohort's
-   carried index. *)
-let merge ctx contribs = Checkpoint.merge ~state:ctx.merge_state contribs
+   carried, address-sharded index; the per-shard fill / validate /
+   sweep jobs run on the ctx's domain pool when one is configured.
+   The per-phase host time is folded into the run's Stats so the CLI
+   and bench can attribute merge cost (host-side instrumentation only
+   — never simulated state). *)
+let merge ctx contribs =
+  let before = Checkpoint.phase_timings ctx.merge_state in
+  let m = Checkpoint.merge ~state:ctx.merge_state ?pool:ctx.pool contribs in
+  let after = Checkpoint.phase_timings ctx.merge_state in
+  let stats = ctx.env.Worker.stats in
+  stats.ns_merge_fill <-
+    stats.ns_merge_fill +. (after.Checkpoint.fill_ns -. before.Checkpoint.fill_ns);
+  stats.ns_merge_validate <-
+    stats.ns_merge_validate
+    +. (after.Checkpoint.validate_ns -. before.Checkpoint.validate_ns);
+  stats.ns_merge_sweep <-
+    stats.ns_merge_sweep
+    +. (after.Checkpoint.sweep_ns -. before.Checkpoint.sweep_ns);
+  m
 
 (* Commit a cleanly merged interval [lo, hi) into the main process.
    Returns the simulated time at which the checkpoint retires. *)

@@ -27,6 +27,7 @@ open Privateer_runtime
 type config = Runtime_config.t = {
   workers : int;
   host_domains : int;
+  merge_shards : int;
   schedule : Schedule.t;
   checkpoint_period : int option;
   adaptive_period : bool;
@@ -67,7 +68,9 @@ let create manifest config =
     else None
   in
   let page_pool =
-    if config.pool_cap > 0 then
+    (* pool_cap 0 disables pooling; any other value (fixed or
+       Page_pool.auto) creates a pool with that cap. *)
+    if config.pool_cap <> 0 then
       Some
         (Page_pool.create ~cap:config.pool_cap ~fill:(Char.chr Shadow.old_write) ())
     else None
@@ -163,7 +166,7 @@ let run_invocation t (st : Interp.t) fr (spec : Manifest.loop_spec) ~var ~init_v
       else begin
         let ctx = Commit.make_ctx env st fr spec ~io ~emit_main
             ~serial_commit:t.config.serial_commit ~pool:t.pool
-            ~page_pool:t.page_pool
+            ~page_pool:t.page_pool ~merge_shards:t.config.merge_shards
         in
         let workers =
           Worker.spawn ?pool:t.pool env st fr spec ctx.Commit.ranges nw

@@ -18,6 +18,11 @@ type t = {
          many OCaml domains.  1 keeps the fully sequential reference
          path.  Host-only: simulated cycles and all committed state
          are byte-identical at any setting. *)
+  merge_shards : int;
+      (* address-shard count of the checkpoint merge's writer index:
+         the merge's fill / validate / sweep passes run as one job per
+         shard on the host pool.  Host-only, like host_domains —
+         verdicts and overlays are byte-identical at any setting. *)
   schedule : Schedule.t; (* iteration-assignment policy *)
   checkpoint_period : int option; (* None: auto (aim ~6 per invocation) *)
   adaptive_period : bool;
@@ -52,17 +57,37 @@ let env_int ~lo ~hi ~default name =
     try max lo (min hi (int_of_string (String.trim s))) with Failure _ -> default)
   | None -> default
 
-(* PRIVATEER_HOST_DOMAINS sets the default host parallelism and
+(* PRIVATEER_HOST_DOMAINS sets the default host parallelism,
+   PRIVATEER_MERGE_SHARDS the default merge shard count, and
    PRIVATEER_SHADOW_POOL_CAP the default pool cap, so an unmodified
-   test or bench run can exercise the domain-parallel and pool-disabled
-   paths (CI forces both). *)
+   test or bench run can exercise the domain-parallel, sharded-merge
+   and pool-disabled paths (CI forces all three). *)
 let default_host_domains = env_int ~lo:1 ~hi:64 ~default:1 "PRIVATEER_HOST_DOMAINS"
 
+let default_merge_shards =
+  env_int ~lo:1 ~hi:64 ~default:Privateer_runtime.Checkpoint.default_shards
+    "PRIVATEER_MERGE_SHARDS"
+
+(* "auto" selects the adaptive pool cap (Page_pool.auto). *)
+let parse_pool_cap s =
+  match String.lowercase_ascii (String.trim s) with
+  | "auto" -> Some Page_pool.auto
+  | s -> (
+    match int_of_string_opt s with
+    | Some v when v >= 0 -> Some v
+    | Some _ | None -> None)
+
 let default_pool_cap =
-  env_int ~lo:0 ~hi:max_int ~default:Page_pool.unbounded "PRIVATEER_SHADOW_POOL_CAP"
+  match Sys.getenv_opt "PRIVATEER_SHADOW_POOL_CAP" with
+  | Some s -> (
+    match parse_pool_cap s with
+    | Some cap -> cap
+    | None -> Page_pool.unbounded)
+  | None -> Page_pool.unbounded
 
 let default =
-  { workers = 4; host_domains = default_host_domains; schedule = Schedule.Cyclic;
+  { workers = 4; host_domains = default_host_domains;
+    merge_shards = default_merge_shards; schedule = Schedule.Cyclic;
     checkpoint_period = None; adaptive_period = false; throttle = None;
     pool_cap = default_pool_cap; costs = Cost_model.default; inject = None;
     validate = true; serial_commit = false }
@@ -86,19 +111,27 @@ let validate config =
   | Some n when n <= 0 ->
     invalid_arg (Printf.sprintf "Runtime_config: throttle must be > 0 (got %d)" n)
   | Some _ | None -> ());
-  if config.pool_cap < 0 then
+  if config.merge_shards < 1 || config.merge_shards > 64 then
     invalid_arg
-      (Printf.sprintf "Runtime_config: pool_cap must be >= 0 (got %d)" config.pool_cap);
+      (Printf.sprintf "Runtime_config: merge_shards must be in [1, 64] (got %d)"
+         config.merge_shards);
+  if config.pool_cap < 0 && config.pool_cap <> Page_pool.auto then
+    invalid_arg
+      (Printf.sprintf
+         "Runtime_config: pool_cap must be >= 0 or Page_pool.auto (got %d)"
+         config.pool_cap);
   Schedule.validate config.schedule
 
 (* ---- builder ---------------------------------------------------------- *)
 
-let make ?workers ?host_domains ?schedule ?checkpoint_period ?adaptive_period
-    ?throttle ?pool_cap ?costs ?inject ?validate:validate_opt ?serial_commit () =
+let make ?workers ?host_domains ?merge_shards ?schedule ?checkpoint_period
+    ?adaptive_period ?throttle ?pool_cap ?costs ?inject ?validate:validate_opt
+    ?serial_commit () =
   let opt v d = Option.value v ~default:d in
   let config =
     { workers = opt workers default.workers;
       host_domains = opt host_domains default.host_domains;
+      merge_shards = opt merge_shards default.merge_shards;
       schedule = opt schedule default.schedule;
       checkpoint_period = opt checkpoint_period default.checkpoint_period;
       adaptive_period = opt adaptive_period default.adaptive_period;
@@ -155,6 +188,15 @@ let cli_bindings =
       b_flag_like = false;
       b_apply =
         int_field "host-domains" (fun t host_domains -> { t with host_domains }) };
+    { b_flags = [ "merge-shards" ]; b_docv = "N";
+      b_doc =
+        "Shard the checkpoint merge's writer index N ways; the merge's fill / \
+         validate / sweep passes run as one job per shard on the host pool \
+         (default \\$(b,PRIVATEER_MERGE_SHARDS) or 8).  Host-only: verdicts and \
+         overlays are identical at any setting.";
+      b_flag_like = false;
+      b_apply =
+        int_field "merge-shards" (fun t merge_shards -> { t with merge_shards }) };
     { b_flags = [ "checkpoint" ]; b_docv = "K";
       b_doc = "Checkpoint period in iterations ('none': auto).";
       b_flag_like = false;
@@ -186,10 +228,19 @@ let cli_bindings =
     { b_flags = [ "shadow-pool-cap" ]; b_docv = "N";
       b_doc =
         "Keep up to N retired shadow-page buffers for swap-recycling at interval \
-         reset (0 disables pooling; default \\$(b,PRIVATEER_SHADOW_POOL_CAP) or \
-         unbounded).  Host-only, like --host-domains.";
+         reset (0 disables pooling; 'auto' learns a cap from recent retirement \
+         footprints; default \\$(b,PRIVATEER_SHADOW_POOL_CAP) or unbounded).  \
+         Host-only, like --host-domains.";
       b_flag_like = false;
-      b_apply = int_field "shadow-pool-cap" (fun t pool_cap -> { t with pool_cap }) }
+      b_apply =
+        (fun t s ->
+          match parse_pool_cap s with
+          | Some pool_cap -> Ok { t with pool_cap }
+          | None ->
+            Error
+              (Printf.sprintf
+                 "shadow-pool-cap: expected a non-negative integer or 'auto', got %S"
+                 s)) }
   ]
 
 (* Fold a list of (binding, passed value) pairs over [base]; unpassed

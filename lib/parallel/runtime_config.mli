@@ -19,6 +19,13 @@ type t = {
           sequential reference path.  Host-only — simulated cycles and
           all committed state are byte-identical at any setting.
           Default: [PRIVATEER_HOST_DOMAINS] or 1. *)
+  merge_shards : int;
+      (** address-shard count of the checkpoint merge's writer index
+          in [\[1, 64\]]: the merge's fill / phase-2 validate / sweep
+          passes run as one job per shard on the host pool.  Host-only
+          — verdicts and overlays are byte-identical at any setting.
+          Default: [PRIVATEER_MERGE_SHARDS] or
+          [Checkpoint.default_shards] (8). *)
   schedule : Schedule.t;  (** iteration-assignment policy *)
   checkpoint_period : int option;
       (** [None]: auto (aim ~6 checkpoints per invocation) *)
@@ -29,12 +36,14 @@ type t = {
       (** [Some n]: demote a loop to sequential execution after [n]
           misspeculations in one invocation *)
   pool_cap : int;
-      (** shadow-page pool free-list cap ([>= 0]): fully-timestamped
-          shadow pages are retired by buffer swap at interval reset
-          and up to this many refilled buffers are kept for recycling.
-          [0] disables pooling; [Page_pool.unbounded] never evicts.
-          Host-only, like [host_domains].  Default:
-          [PRIVATEER_SHADOW_POOL_CAP] or unbounded. *)
+      (** shadow-page pool free-list cap ([>= 0] or [Page_pool.auto]):
+          fully-timestamped shadow pages are retired by buffer swap at
+          interval reset and up to this many refilled buffers are kept
+          for recycling.  [0] disables pooling; [Page_pool.unbounded]
+          never evicts; [Page_pool.auto] learns a cap from an EWMA of
+          recent retirement footprints.  Host-only, like
+          [host_domains].  Default: [PRIVATEER_SHADOW_POOL_CAP]
+          (integer or ["auto"]) or unbounded. *)
   costs : Cost_model.t;
   inject : (int -> bool) option;
       (** injected misspeculation, by iteration *)
@@ -46,9 +55,17 @@ type t = {
 val default_host_domains : int
 (** The [PRIVATEER_HOST_DOMAINS] environment default (1 when unset). *)
 
+val default_merge_shards : int
+(** The [PRIVATEER_MERGE_SHARDS] environment default
+    ([Checkpoint.default_shards] when unset). *)
+
 val default_pool_cap : int
 (** The [PRIVATEER_SHADOW_POOL_CAP] environment default (unbounded
-    when unset). *)
+    when unset; the string ["auto"] selects [Page_pool.auto]). *)
+
+val parse_pool_cap : string -> int option
+(** Parse a pool-cap string: a non-negative integer, or ["auto"] for
+    [Page_pool.auto].  [None] on anything else. *)
 
 val default : t
 (** Every field at its documented default (environment-sensitive for
@@ -63,6 +80,7 @@ val validate : t -> unit
 val make :
   ?workers:int ->
   ?host_domains:int ->
+  ?merge_shards:int ->
   ?schedule:Schedule.t ->
   ?checkpoint_period:int option ->
   ?adaptive_period:bool ->

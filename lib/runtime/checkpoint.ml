@@ -26,8 +26,15 @@ open Privateer_ir
 open Privateer_machine
 open Privateer_interp
 module Domain_pool = Privateer_support.Domain_pool
+module Clock = Privateer_support.Clock
 
 type word_write = { iter : int; bits : int64; is_float : bool }
+
+(* The 8-byte word containing a byte address.  Writes are tracked at
+   word granularity (to preserve float tags); this is the one mask
+   that maps a byte-granular shadow mark onto that index, used by both
+   the extraction scan and the phase-2 probe. *)
+let word_base addr = addr land lnot 7
 
 type contribution = {
   worker : int;
@@ -48,7 +55,15 @@ type contribution = {
    decodes shadow timestamps into iteration numbers.  Pages whose
    summary flags show neither timestamps nor read-live-in marks are
    skipped without a scan; flagged pages are scanned word-wise directly
-   on the page bytes (an all-zero metadata word is all live-in). *)
+   on the page bytes (an all-zero metadata word is all live-in).
+
+   The scan is bounded by the page's exact mark counts: once
+   [timestamp_bytes + live_in_bytes] marked bytes have been found, the
+   rest of the page is provably unmarked (live-in or old-write) and
+   the scan stops — O(marked bytes) on sparse pages instead of
+   O(page).  Machines driven through [Shadow_reference] never reach
+   this loop: reference pages carry no summary flags, so the [any_*]
+   guard filters them out before the counts matter. *)
 let scan_page ~interval_start mem key writes live_in_reads =
   match Memory.find_page mem (Memory.base_of_page key) with
   | None -> ()
@@ -56,16 +71,20 @@ let scan_page ~interval_start mem key writes live_in_reads =
     if Memory.any_timestamp page || Memory.any_live_in_read page then begin
       let bytes = Memory.page_bytes page in
       let base = Memory.base_of_page key in
+      let remaining =
+        ref (Memory.timestamp_bytes page + Memory.live_in_bytes page)
+      in
       let off = ref 0 in
-      while !off < Memory.page_size do
+      while !remaining > 0 && !off < Memory.page_size do
         if Bytes.get_int64_le bytes !off = 0L then off := !off + 8
         else begin
           let fin = !off + 8 in
           while !off < fin do
             let m = Char.code (Bytes.unsafe_get bytes !off) in
             if Shadow.is_timestamp m then begin
+              decr remaining;
               let private_addr = Heap.private_of_shadow (base + !off) in
-              let word_addr = private_addr land lnot 7 in
+              let word_addr = word_base private_addr in
               let iter = Shadow.iteration_of_timestamp ~interval_start m in
               let keep =
                 match Hashtbl.find_opt writes word_addr with
@@ -77,10 +96,12 @@ let scan_page ~interval_start mem key writes live_in_reads =
                 Hashtbl.replace writes word_addr { iter; bits; is_float }
               end
             end
-            else if m = Shadow.read_live_in then
+            else if m = Shadow.read_live_in then begin
+              decr remaining;
               Hashtbl.replace live_in_reads
                 (Heap.private_of_shadow (base + !off))
-                ();
+                ()
+            end;
             incr off
           done
         end
@@ -207,8 +228,11 @@ let contribution_of_worker ?pool ~worker ~interval_start (machine : Machine.t)
   | _ -> assert false
 
 type merged = {
-  (* word address -> the interval's winning (latest-iteration) write *)
-  overlay : (int, word_write) Hashtbl.t;
+  (* winning (latest-iteration) write per word, sharded by word
+     address exactly like the writer index ([shard_of]); every word
+     lives in exactly one slice.  Use [find_overlay] / [iter_overlay] /
+     [overlay_size] rather than indexing by hand. *)
+  overlay : (int, word_write) Hashtbl.t array;
   (* per-worker redux snapshots and register partials, kept for
      recovery and final commit *)
   contributions : contribution list;
@@ -216,92 +240,230 @@ type merged = {
   total_pages : int;
 }
 
-(* The word -> writer index carried across a worker cohort's intervals.
-   Contributions are per-interval deltas (extraction visits only pages
-   dirtied since the last checkpoint), so the index holds exactly one
-   interval's entries while a merge is validating and is swept back to
-   empty before the merge returns: the table (and its grown bucket
-   array) persists, the content is per-interval.  [ms_index_ops] counts
-   every insert/update/remove so tests can assert that clean intervals
-   do no index work at all. *)
+(* Which shard owns a word address.  [addr] is 8-byte aligned, so the
+   low bits are dropped before the mod: consecutive words land on
+   consecutive shards, spreading dense runs evenly. *)
+let shard_of ~shards addr = (addr lsr 3) mod shards
+
+let overlay_size m =
+  Array.fold_left (fun acc t -> acc + Hashtbl.length t) 0 m.overlay
+
+let find_overlay m addr =
+  Hashtbl.find_opt m.overlay.(shard_of ~shards:(Array.length m.overlay) addr) addr
+
+let iter_overlay m ~f = Array.iter (Hashtbl.iter f) m.overlay
+
+(* The word -> writer index carried across a worker cohort's intervals,
+   split into [shards] address-sharded slices so the fill / validate /
+   sweep passes can run as disjoint per-shard jobs.  Contributions are
+   per-interval deltas (extraction visits only pages dirtied since the
+   last checkpoint), so each slice holds exactly one interval's entries
+   while a merge is validating and is swept back to empty before the
+   merge returns: the tables (and their grown bucket arrays) persist,
+   the content is per-interval.  [ms_index_ops] counts every
+   insert/update/remove so tests can assert that clean intervals do no
+   index work at all; the [ms_*_ns] accumulators attribute host wall
+   time per merge phase (instrumentation only — host time never feeds
+   back into simulated state). *)
 type merge_state = {
-  ms_writers : (int, int) Hashtbl.t; (* word -> sole writer, or -1 *)
+  ms_shards : (int, int) Hashtbl.t array; (* word -> sole writer, or -1 *)
   mutable ms_index_ops : int;
+  mutable ms_fill_ns : float;
+  mutable ms_validate_ns : float;
+  mutable ms_sweep_ns : float;
 }
 
-let create_merge_state () = { ms_writers = Hashtbl.create 1024; ms_index_ops = 0 }
+let default_shards = 8
 
+let create_merge_state ?(shards = default_shards) () =
+  if shards < 1 then invalid_arg "Checkpoint.create_merge_state: shards < 1";
+  { ms_shards = Array.init shards (fun _ -> Hashtbl.create 256);
+    ms_index_ops = 0; ms_fill_ns = 0.0; ms_validate_ns = 0.0; ms_sweep_ns = 0.0 }
+
+let shard_count state = Array.length state.ms_shards
 let index_ops state = state.ms_index_ops
 
-(* Phase-2 validation + last-writer-wins merge.
+type phase_ns = { fill_ns : float; validate_ns : float; sweep_ns : float }
 
-   The merge pass that builds the overlay also fills the per-word
-   writer index ([-1] = more than one distinct worker), so phase 2 is
-   a single O(1) lookup per live-in byte instead of a scan over every
-   writer's contribution — O(live-in bytes) total where the old
-   nested-list pass was O(readers x live-in bytes x writers).
+let phase_timings state =
+  { fill_ns = state.ms_fill_ns; validate_ns = state.ms_validate_ns;
+    sweep_ns = state.ms_sweep_ns }
 
-   With [?state], the index table is the carried one: merge cost is
+(* Phase-2 validation + last-writer-wins merge, in three passes over
+   address-disjoint shards:
+
+   1. index fill: route every contributed word write to its shard —
+      build that shard's overlay slice last-writer-wins by iteration
+      and record the word's sole writer ([-1] = more than one distinct
+      worker) in the shard's writer index;
+   2. validate: for every live-in byte, one O(1) probe of the owning
+      shard's index — a write by a different worker is a phase-2
+      privacy violation (conservative: regardless of iteration order,
+      as in the paper's one-byte-metadata design);
+   3. sweep: remove this interval's inserted delta so every shard's
+      carried index is empty again.
+
+   With [?pool] (size > 1), each pass runs as one job per shard on the
+   pool's domains.  Jobs read the quiescent contributions and touch
+   only their own shard's tables, so no two jobs share mutable state;
+   the per-shard entry streams are the same subsequences in either
+   mode, making tables, op counts and overlay slices identical to the
+   sequential path at any domain count.  The violation verdict is the
+   minimum over per-shard minima — i.e. still the globally smallest
+   conflicting byte address, so the verdict cannot depend on shard
+   count, domain count, or hash iteration order.  Without a pool, a
+   single pass routes each address to its shard directly (no
+   per-shard re-walk of the contributions).
+
+   With [?state], the shard tables are the carried ones: merge cost is
    proportional to this interval's entries (insert the delta, sweep it
-   out again), and an interval with no new writes short-circuits both
-   the index fill and the phase-2 scan outright — no allocation, no
-   hashing, no read iteration.  Verdicts are identical either way; the
-   reported violation is pinned to the smallest conflicting byte
-   address so it cannot depend on hash-table iteration order (and
-   therefore not on the extraction pool size). *)
-let merge ?state (contribs : contribution list) =
+   out again), and an interval with no new writes short-circuits all
+   three passes outright — no allocation, no hashing, no read
+   iteration, no pool dispatch. *)
+let merge ?state ?pool (contribs : contribution list) =
   let st = match state with Some s -> s | None -> create_merge_state () in
-  let writers = st.ms_writers in
+  let shards = Array.length st.ms_shards in
   let have_writes =
     List.exists (fun c -> Hashtbl.length c.writes > 0) contribs
   in
-  let overlay = Hashtbl.create (if have_writes then 1024 else 1) in
+  let overlay =
+    Array.init shards (fun _ -> Hashtbl.create (if have_writes then 64 else 1))
+  in
   let violation = ref None in
   if have_writes then begin
-    let inserted = ref [] in
-    (* Last-writer-wins across workers; record who wrote each word. *)
-    List.iter
-      (fun c ->
-        Hashtbl.iter
-          (fun addr (w : word_write) ->
-            (match Hashtbl.find_opt writers addr with
-            | None ->
-              Hashtbl.replace writers addr c.worker;
-              inserted := addr :: !inserted;
-              st.ms_index_ops <- st.ms_index_ops + 1
-            | Some id when id = c.worker || id = -1 -> ()
-            | Some _ ->
-              Hashtbl.replace writers addr (-1);
-              st.ms_index_ops <- st.ms_index_ops + 1);
-            match Hashtbl.find_opt overlay addr with
-            | Some prev when prev.iter >= w.iter -> ()
-            | Some _ | None -> Hashtbl.replace overlay addr w)
-          c.writes)
-      contribs;
-    (* Phase 2: a live-in read by worker w conflicts with any write to
-       the same byte by a different worker (conservative: regardless of
-       iteration order, as in the paper's one-byte-metadata design).
-       The smallest conflicting byte address is reported. *)
-    List.iter
-      (fun reader ->
-        Hashtbl.iter
-          (fun addr () ->
-            match Hashtbl.find_opt writers (addr land lnot 7) with
-            | Some id when id <> reader.worker -> (
-              match !violation with
-              | Some a when a <= addr -> ()
-              | Some _ | None -> violation := Some addr)
-            | Some _ | None -> ())
-          reader.live_in_reads)
-      contribs;
-    (* Sweep this interval's delta back out so the carried index is
-       empty again (content is per-interval; only the allocation is
-       carried). *)
-    List.iter
-      (fun addr ->
-        Hashtbl.remove writers addr;
-        st.ms_index_ops <- st.ms_index_ops + 1)
-      !inserted
+    let par =
+      match pool with Some p when Domain_pool.size p > 1 -> Some p | _ -> None
+    in
+    let inserted = Array.make shards [] in
+    (* Route one word write into shard tables [writers]/[ov];
+       [ins]/[ops] are the shard-local accumulation cells. *)
+    let fill_word writers ov ins ops addr (w : word_write) worker =
+      (match Hashtbl.find_opt writers addr with
+      | None ->
+        Hashtbl.replace writers addr worker;
+        ins := addr :: !ins;
+        incr ops
+      | Some id when id = worker || id = -1 -> ()
+      | Some _ ->
+        Hashtbl.replace writers addr (-1);
+        incr ops);
+      match Hashtbl.find_opt ov addr with
+      | Some prev when prev.iter >= w.iter -> ()
+      | Some _ | None -> Hashtbl.replace ov addr w
+    in
+    let t0 = Clock.now_ns () in
+    (* Pass 1: index fill. *)
+    (match par with
+    | None ->
+      let ops = ref 0 in
+      let ins = Array.init shards (fun _ -> ref []) in
+      List.iter
+        (fun c ->
+          Hashtbl.iter
+            (fun addr w ->
+              let s = shard_of ~shards addr in
+              fill_word st.ms_shards.(s) overlay.(s) ins.(s) ops addr w c.worker)
+            c.writes)
+        contribs;
+      Array.iteri (fun s r -> inserted.(s) <- !r) ins;
+      st.ms_index_ops <- st.ms_index_ops + !ops
+    | Some p ->
+      let results =
+        Domain_pool.run p
+          (List.init shards (fun s () ->
+               let writers = st.ms_shards.(s) in
+               let ov = overlay.(s) in
+               let ins = ref [] in
+               let ops = ref 0 in
+               List.iter
+                 (fun c ->
+                   Hashtbl.iter
+                     (fun addr w ->
+                       if shard_of ~shards addr = s then
+                         fill_word writers ov ins ops addr w c.worker)
+                     c.writes)
+                 contribs;
+               (!ins, !ops)))
+      in
+      List.iteri
+        (fun s (ins, ops) ->
+          inserted.(s) <- ins;
+          st.ms_index_ops <- st.ms_index_ops + ops)
+        results);
+    let t1 = Clock.now_ns () in
+    (* Pass 2: validate.  [probe] is one lookup in the shard owning
+       the byte's word. *)
+    let probe reader_worker addr =
+      let wb = word_base addr in
+      match Hashtbl.find_opt st.ms_shards.(shard_of ~shards wb) wb with
+      | Some id when id <> reader_worker -> true
+      | Some _ | None -> false
+    in
+    (match par with
+    | None ->
+      List.iter
+        (fun reader ->
+          Hashtbl.iter
+            (fun addr () ->
+              if probe reader.worker addr then
+                match !violation with
+                | Some a when a <= addr -> ()
+                | Some _ | None -> violation := Some addr)
+            reader.live_in_reads)
+        contribs
+    | Some p ->
+      let minima =
+        Domain_pool.run p
+          (List.init shards (fun s () ->
+               let best = ref None in
+               List.iter
+                 (fun reader ->
+                   Hashtbl.iter
+                     (fun addr () ->
+                       if
+                         shard_of ~shards (word_base addr) = s
+                         && probe reader.worker addr
+                       then
+                         match !best with
+                         | Some a when a <= addr -> ()
+                         | Some _ | None -> best := Some addr)
+                     reader.live_in_reads)
+                 contribs;
+               !best))
+      in
+      violation :=
+        List.fold_left
+          (fun acc m ->
+            match (acc, m) with
+            | None, m -> m
+            | acc, None -> acc
+            | Some a, Some b -> Some (min a b))
+          None minima);
+    let t2 = Clock.now_ns () in
+    (* Pass 3: sweep this interval's delta back out so the carried
+       index is empty again (content is per-interval; only the
+       allocations are carried). *)
+    (match par with
+    | None ->
+      Array.iteri
+        (fun s ins ->
+          let writers = st.ms_shards.(s) in
+          List.iter (fun addr -> Hashtbl.remove writers addr) ins;
+          st.ms_index_ops <- st.ms_index_ops + List.length ins)
+        inserted
+    | Some p ->
+      let swept =
+        Domain_pool.run p
+          (List.init shards (fun s () ->
+               let writers = st.ms_shards.(s) in
+               List.iter (fun addr -> Hashtbl.remove writers addr) inserted.(s);
+               List.length inserted.(s)))
+      in
+      List.iter (fun k -> st.ms_index_ops <- st.ms_index_ops + k) swept);
+    let t3 = Clock.now_ns () in
+    st.ms_fill_ns <- st.ms_fill_ns +. (t1 -. t0);
+    st.ms_validate_ns <- st.ms_validate_ns +. (t2 -. t1);
+    st.ms_sweep_ns <- st.ms_sweep_ns +. (t3 -. t2)
   end;
   let total_pages = List.fold_left (fun acc c -> acc + c.pages_touched) 0 contribs in
   { overlay; contributions = contribs;
@@ -310,12 +472,12 @@ let merge ?state (contribs : contribution list) =
 
 (* Install a merged overlay into the main process's memory (the
    paper's "replaces its heaps with those from the last valid
-   checkpoint" uses mmap; we write the bytes). *)
+   checkpoint" uses mmap; we write the bytes).  Every word lives in
+   exactly one shard slice, so the write order across slices cannot
+   matter. *)
 let apply_overlay (machine : Machine.t) merged =
-  Hashtbl.iter
-    (fun addr (w : word_write) ->
+  iter_overlay merged ~f:(fun addr (w : word_write) ->
       Memory.write_word machine.Machine.mem addr w.bits w.is_float)
-    merged.overlay
 
 (* Combine worker reduction partials over the base (pre-interval)
    values: final = base op partial_1 op ... op partial_n. *)

@@ -6,21 +6,29 @@
     private writes last-writer-wins by iteration, and folds reduction
     partials over pre-spawn base values.
 
-    Extraction is the host-parallel stage of the runtime: every shadow
+    Both halves of the checkpoint path are host-parallel: every shadow
     page covers a disjoint range of private words, so the per-page
-    scans fan out over a {!Privateer_support.Domain_pool} (per worker
-    and per page chunk) and reassemble into contributions that are
-    byte-identical to the sequential scan.  Merging carries its
-    word→writer index across intervals ({!merge_state}) so per-interval
-    merge cost is proportional to that interval's new entries — zero
-    for a clean interval — instead of re-allocating and re-filling the
-    index each time. *)
+    extraction scans fan out over a {!Privateer_support.Domain_pool}
+    (per worker and per page chunk) and reassemble into contributions
+    that are byte-identical to the sequential scan; and the merge's
+    writer index is address-sharded, so its fill / phase-2 validate /
+    sweep passes run as disjoint per-shard jobs on the same pool.  The
+    merge state is carried across intervals ({!merge_state}) so
+    per-interval merge cost is proportional to that interval's new
+    entries — zero for a clean interval — instead of re-allocating and
+    re-filling the index each time. *)
 
 open Privateer_interp
 
 (** One committed-candidate write: the winning iteration plus the
     word's bits and float tag as read from the worker's memory. *)
 type word_write = { iter : int; bits : int64; is_float : bool }
+
+val word_base : int -> int
+(** The 8-byte word containing a byte address ([addr land lnot 7]) —
+    the mask mapping byte-granular shadow marks onto the word-granular
+    write tracking, shared by the extraction scan and the phase-2
+    probe. *)
 
 (** One worker's interval state, as extracted from its dirty shadow
     pages. *)
@@ -77,41 +85,84 @@ val contribution_of_worker :
 
 (** A validated, merged checkpoint interval. *)
 type merged = {
-  overlay : (int, word_write) Hashtbl.t;
-      (** winning (latest-iteration) write per word *)
+  overlay : (int, word_write) Hashtbl.t array;
+      (** winning (latest-iteration) write per word, sharded by word
+          address like the writer index; access through
+          {!find_overlay} / {!iter_overlay} / {!overlay_size} *)
   contributions : contribution list;
       (** kept for recovery and the final commit *)
   violation : Misspec.reason option;
       (** phase-2 conflict, if any — pinned to the smallest
           conflicting byte address, so it is deterministic across pool
-          sizes *)
+          sizes and shard counts *)
   total_pages : int;  (** summed page-copy charge across workers *)
 }
 
+val overlay_size : merged -> int
+(** Total words in the overlay, across all shard slices. *)
+
+val find_overlay : merged -> int -> word_write option
+(** The winning write for a word address, probing only its shard. *)
+
+val iter_overlay : merged -> f:(int -> word_write -> unit) -> unit
+(** Iterate the whole overlay.  Every word lives in exactly one shard
+    slice, so callers writing disjoint words need no order
+    guarantees. *)
+
 (** The word→writer index carried across one worker cohort's
-    intervals.  Because contributions are per-interval deltas, the
-    index holds one interval's entries during a merge and is swept
-    back to empty before the merge returns: the allocation persists,
-    the content is per-interval, and a clean interval (no new writes)
-    does no index work at all. *)
+    intervals, split into address-sharded slices
+    ([shard = (addr lsr 3) mod shards]) so the merge passes can run as
+    disjoint per-shard jobs.  Because contributions are per-interval
+    deltas, the slices hold one interval's entries during a merge and
+    are swept back to empty before the merge returns: the allocations
+    persist, the content is per-interval, and a clean interval (no new
+    writes) does no index work at all. *)
 type merge_state
 
-(** A fresh carried index (one per worker cohort / spawn). *)
-val create_merge_state : unit -> merge_state
+val default_shards : int
+(** Default shard count (8). *)
+
+(** A fresh carried index (one per worker cohort / spawn) with
+    [shards] slices (default {!default_shards}).
+    @raise Invalid_argument if [shards < 1]. *)
+val create_merge_state : ?shards:int -> unit -> merge_state
+
+val shard_count : merge_state -> int
 
 (** Total index mutations (inserts, multi-writer updates, removals)
     performed through this state — the observable for the
-    no-work-on-clean-intervals regression test. *)
+    no-work-on-clean-intervals regression test.  Deterministic across
+    shard counts and pool sizes: each contributed word costs an
+    insert, at most one multi-writer update, and a sweep removal,
+    regardless of which shard or domain processes it. *)
 val index_ops : merge_state -> int
 
-(** Phase-2 validation plus last-writer-wins merge.  Phase 2 is one
-    per-word writer-index lookup per live-in byte (O(live-in bytes)),
-    not a scan over every writer's contribution.  Passing [?state]
-    reuses the carried index (cost proportional to this interval's
-    entries; an interval with no new writes short-circuits index fill
-    and phase-2 scan entirely); omitting it builds a fresh ephemeral
+(** Cumulative host wall time this state has spent per merge phase.
+    Instrumentation only: host time never feeds back into simulated
+    state. *)
+type phase_ns = { fill_ns : float; validate_ns : float; sweep_ns : float }
+
+val phase_timings : merge_state -> phase_ns
+
+(** Phase-2 validation plus last-writer-wins merge, as three passes
+    over the address-sharded writer index: index fill, phase-2
+    validation (one O(1) probe per live-in byte, not a scan over every
+    writer's contribution), and delta sweep.
+
+    With [?pool] (size > 1) each pass runs as one job per shard on the
+    pool's domains; jobs touch only their own shard's tables, and the
+    violation verdict is the minimum over per-shard minima, so
+    overlays, op counts and verdicts are byte-identical to the
+    sequential path at any domain count and shard count.  Passing
+    [?state] reuses the carried index (cost proportional to this
+    interval's entries; an interval with no new writes short-circuits
+    all three passes entirely); omitting it builds a fresh ephemeral
     index with identical semantics. *)
-val merge : ?state:merge_state -> contribution list -> merged
+val merge :
+  ?state:merge_state ->
+  ?pool:Privateer_support.Domain_pool.t ->
+  contribution list ->
+  merged
 
 (** Install a merged overlay into the main process's memory. *)
 val apply_overlay : Privateer_machine.Machine.t -> merged -> unit

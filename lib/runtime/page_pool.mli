@@ -27,22 +27,37 @@ type stats = {
 val unbounded : int
 (** A cap that never evicts ([max_int]). *)
 
+val auto : int
+(** Sentinel cap (-1) selecting the adaptive mode: the free-list bound
+    is learned from an EWMA of recent retirement footprints reported
+    via {!note_interval}.  Starts {!unbounded} (nothing to bound
+    against before the first sample), then tracks roughly the number
+    of pages the workload retires per reset, floored at 1. *)
+
 (** [create ~cap ~fill ()] makes a pool of buffers pre-filled with
     [fill].  [cap] (default {!unbounded}) bounds the {e free list}:
     a deposit beyond it drops the buffer (eviction) so idle pools shed
     memory; buffers handed out to live pages are not counted.
     [cap = 0] disables the pool — {!acquire} always returns [None].
-    @raise Invalid_argument if [cap < 0]. *)
+    [cap = auto] selects the adaptive bound (see {!auto}).
+    @raise Invalid_argument if [cap] is negative and not {!auto}. *)
 val create : ?cap:int -> fill:char -> unit -> t
 
 val cap : t -> int
+(** The configured cap, verbatim (possibly {!auto}). *)
+
 val fill : t -> char
 
 val enabled : t -> bool
-(** [cap t > 0]. *)
+(** [cap t = auto || cap t > 0]. *)
 
 val ready : t -> int
 (** Buffers currently on the free list. *)
+
+val current_cap : t -> int
+(** The bound deposits are checked against right now: the fixed cap,
+    or the learned bound in {!auto} mode ({!unbounded} until the first
+    {!note_interval} sample). *)
 
 (** A page-sized buffer with every byte equal to [fill t] — recycled
     from the free list when possible, freshly minted otherwise.
@@ -51,7 +66,15 @@ val acquire : t -> Bytes.t option
 
 (** Return a buffer to the free list for recycling.  The caller must
     have re-filled it with [fill t] first.  Dropped (and counted as an
-    eviction) when the free list is at the cap. *)
+    eviction) when the free list is at the current cap. *)
 val deposit : t -> Bytes.t -> unit
+
+(** [note_interval t ~retired] reports one reset's retirement
+    footprint (how many pages it swap-retired).  No-op unless the pool
+    was created with [cap = auto], in which case the adaptive bound is
+    updated: the first sample seeds the EWMA, later ones are smoothed
+    in, and the effective cap becomes [max 1 (ceil ewma)].  Call from
+    the sequential tail of the reset, after the deposits. *)
+val note_interval : t -> retired:int -> unit
 
 val stats : t -> stats

@@ -64,12 +64,15 @@ let transition op ~current ~beta : verdict =
    first byte that actually needs an update, and the page summary flag
    matching the operation (timestamps for writes, read-live-in marks
    for reads) is raised at the same moment — so checkpoint extraction
-   and metadata reset can skip unflagged pages wholesale.  Write
-   promotions additionally maintain the page's exact timestamp-byte
-   count (a byte entering the >= first_timestamp range from below),
-   which is what lets the reset retire fully-timestamped pages by
-   buffer swap instead of rewrite; the count is flushed to the page
-   before any raise so partial updates stay consistent.
+   and metadata reset can skip unflagged pages wholesale.  Promotions
+   additionally maintain the page's exact mark counts — timestamp
+   bytes on writes (a byte entering the >= first_timestamp range from
+   below, which is what lets the reset retire fully-timestamped pages
+   by buffer swap instead of rewrite) and read-live-in bytes on reads
+   (the live-in -> read-live-in transition, which is what lets
+   checkpoint extraction stop a page scan once every mark is found);
+   both counts are flushed to the page before any raise so partial
+   updates stay consistent.
    Byte-for-byte equivalent to [Shadow_reference.access] (asserted by
    a qcheck property): same final metadata, same verdict at the same
    byte, same partial updates before a failing byte. *)
@@ -91,6 +94,7 @@ let access machine op ~addr ~size ~beta =
     let page = ref None in
     let writable = ref false in
     let added = ref 0 in
+    let li_added = ref 0 in
     let promote () =
       let p = Memory.touch_page mem shadow_base in
       (match op with
@@ -103,11 +107,14 @@ let access machine op ~addr ~size ~beta =
       b
     in
     let flush_count () =
-      if !added > 0 then begin
+      if !added > 0 || !li_added > 0 then begin
         (match !page with
-        | Some p -> Memory.add_timestamp_bytes p !added
+        | Some p ->
+          if !added > 0 then Memory.add_timestamp_bytes p !added;
+          if !li_added > 0 then Memory.add_live_in_bytes p !li_added
         | None -> assert false (* counted bytes were written via promote *));
-        added := 0
+        added := 0;
+        li_added := 0
       end
     in
     for i = 0 to chunk - 1 do
@@ -120,7 +127,10 @@ let access machine op ~addr ~size ~beta =
       | Keep -> ()
       | Update m ->
         let b = match !bytes with Some b when !writable -> b | _ -> promote () in
-        if m >= first_timestamp && current < first_timestamp then incr added;
+        if m >= first_timestamp && current < first_timestamp then incr added
+        (* The only transition into read-live-in is from live-in, so
+           every such update is a fresh mark. *)
+        else if m = read_live_in then incr li_added;
         Bytes.unsafe_set b (off + i) (Char.unsafe_chr m)
       | Fail mk ->
         flush_count ();
@@ -247,6 +257,10 @@ let reset_interval ?pool ?page_pool machine =
          (List.map (fun fs () -> List.iter (fun f -> f ()) fs) chunks))
   | Some _ | None -> List.iter (fun f -> f ()) !jobs);
   (match page_pool with
-  | Some pp -> List.iter (Page_pool.deposit pp) !retired
+  | Some pp ->
+    List.iter (Page_pool.deposit pp) !retired;
+    (* Feed the adaptive cap: this reset's retirement footprint.
+       No-op on fixed-cap pools. *)
+    Page_pool.note_interval pp ~retired:(List.length !retired)
   | None -> ());
   mapped

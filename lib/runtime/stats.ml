@@ -32,6 +32,14 @@ type t = {
   (* Wall-clock (simulated cycles) of all parallel invocations. *)
   mutable wall_cycles : int;
   mutable workers : int;
+  (* Host wall time spent in the checkpoint merge, split by phase
+     (index fill / phase-2 validate / delta sweep).  Unlike every
+     other field these are host-side instrumentation, not simulated
+     state: they vary run to run and with host parallelism, and must
+     never feed a simulated decision. *)
+  mutable ns_merge_fill : float;
+  mutable ns_merge_validate : float;
+  mutable ns_merge_sweep : float;
   loops : (int, loop_stats) Hashtbl.t;
 }
 
@@ -41,6 +49,7 @@ let create () =
     misspeculations = 0; recovered_iterations = 0; iterations = 0; cyc_useful = 0;
     cyc_private_read = 0; cyc_private_write = 0; cyc_checkpoint = 0; cyc_spawn = 0;
     cyc_join = 0; cyc_recovery = 0; wall_cycles = 0; workers = 0;
+    ns_merge_fill = 0.0; ns_merge_validate = 0.0; ns_merge_sweep = 0.0;
     loops = Hashtbl.create 4 }
 
 let loop_stats t loop =

@@ -18,7 +18,8 @@ type loop_stats = {
 (** Whole-run counters.  Every field is part of the deterministic
     simulation — none may vary with host parallelism
     ([Executor.config.host_domains]), a property the host-parallel
-    test suite asserts. *)
+    test suite asserts — except the [ns_merge_*] host-time
+    accumulators, which are explicitly host-side instrumentation. *)
 type t = {
   mutable invocations : int;
   mutable checkpoints : int;
@@ -39,6 +40,13 @@ type t = {
   mutable cyc_recovery : int;
   mutable wall_cycles : int;  (** sum over parallel invocations *)
   mutable workers : int;
+  mutable ns_merge_fill : float;
+      (** host ns in the merge's index-fill pass — instrumentation,
+          {e not} simulated state; varies run to run *)
+  mutable ns_merge_validate : float;
+      (** host ns in the phase-2 validation pass *)
+  mutable ns_merge_sweep : float;
+      (** host ns in the delta-sweep pass *)
   loops : (int, loop_stats) Hashtbl.t;
 }
 

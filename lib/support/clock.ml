@@ -1,0 +1,7 @@
+(* Host wall-clock for phase timing.  Everything simulated goes
+   through the cycle model in Costs/Stats; this clock exists only for
+   host-side instrumentation (merge phase attribution, bench timing)
+   and must never feed back into simulated state — the determinism
+   contract forbids host time from moving cycles or verdicts. *)
+
+let now_ns () = Unix.gettimeofday () *. 1e9

@@ -1,0 +1,3 @@
+(** Host wall-clock in nanoseconds (not monotonic — good enough for
+    coarse phase attribution; never used for simulated state). *)
+val now_ns : unit -> float

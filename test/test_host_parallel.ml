@@ -1,15 +1,24 @@
-(* Host-parallel checkpoint extraction and the incremental phase-2
-   merge: the sequential path is the correctness oracle.
+(* Host-parallel checkpoint extraction and the sharded phase-2 merge:
+   the sequential path is the correctness oracle.
 
    - qcheck: extraction over a domain pool is byte-identical to the
-     sequential scan, on random multi-page shadow states;
+     sequential scan, on random multi-page shadow states — and both
+     equal a byte-wise oracle that ignores the mark counts, so the
+     early-exit page scan can never under-read;
+   - qcheck: the sharded merge equals the sequential merge equals a
+     pre-shard nested-scan oracle, over shard counts {1, 4, 7} x host
+     pools {sequential, 3 domains}, with identical index-op counts in
+     every cell;
    - qcheck: merging through a carried [merge_state] gives the same
      overlay/violation/pages as rebuilding the index per interval,
      over random multi-interval sequences;
    - regression: a clean interval (no new writes) does zero index
-     work, and a writing interval sweeps its delta back out;
-   - qcheck: the full pipeline is byte-identical at host_domains 3
-     vs 1 (output, result, simulated cycles);
+     work; a writing interval sweeps its delta back out; a violation
+     is pinned to the smallest conflicting byte at every shard count;
+   - unit: [Memory.live_in_bytes] stays exact under overlapping
+     [Shadow.access] ranges and across the interval reset;
+   - qcheck: the full pipeline is byte-identical across host_domains x
+     pool cap x merge shards (output, result, simulated cycles);
    - unit tests for the Domain_pool itself (ordering, exceptions,
      sequential fallback after shutdown). *)
 
@@ -92,10 +101,63 @@ let prop_parallel_extraction_equals_sequential workerses =
   let par = Checkpoint.extract ~pool:(Lazy.force pool) ~interval_start:0 reqs in
   List.length seq = List.length par && List.for_all2 contribution_equal seq par
 
+(* ---- early-exit scan vs byte-wise oracle -------------------------------- *)
+
+(* Extraction oracle that ignores summary flags and mark counts: every
+   byte of every dirty shadow page through [read_byte].  The real scan
+   stops once [timestamp_bytes + live_in_bytes] marks are found; if a
+   count were ever short, the early exit would drop marks and this
+   property would catch it. *)
+let naive_tables ~interval_start (m : Machine.t) =
+  let mem = m.Machine.mem in
+  let writes = Hashtbl.create 64 in
+  let live_in_reads = Hashtbl.create 16 in
+  List.iter
+    (fun key ->
+      let base = Memory.base_of_page key in
+      for off = 0 to Memory.page_size - 1 do
+        let md = Memory.read_byte mem (base + off) in
+        if Shadow.is_timestamp md then begin
+          let private_addr = Heap.private_of_shadow (base + off) in
+          let word_addr = Checkpoint.word_base private_addr in
+          let iter = Shadow.iteration_of_timestamp ~interval_start md in
+          let keep =
+            match Hashtbl.find_opt writes word_addr with
+            | Some (prev : Checkpoint.word_write) -> iter > prev.iter
+            | None -> true
+          in
+          if keep then begin
+            let bits, is_float = Memory.read_word mem word_addr in
+            Hashtbl.replace writes word_addr { Checkpoint.iter; bits; is_float }
+          end
+        end
+        else if md = Shadow.read_live_in then
+          Hashtbl.replace live_in_reads (Heap.private_of_shadow (base + off)) ()
+      done)
+    (Memory.dirty_pages ~heap:Heap.Shadow mem);
+  (writes, live_in_reads)
+
+let prop_early_exit_scan_matches_bytewise workerses =
+  let reqs = reqs_of ~interval_start:0 workerses in
+  let extracted = Checkpoint.extract ~interval_start:0 reqs in
+  List.for_all2
+    (fun (req : Checkpoint.extract_request) (c : Checkpoint.contribution) ->
+      let writes, live_in = naive_tables ~interval_start:0 req.req_machine in
+      tbl_equal writes c.writes && tbl_equal live_in c.live_in_reads)
+    reqs extracted
+
 (* ---- incremental merge equality ----------------------------------------- *)
 
+let overlay_equal (a : Checkpoint.merged) (b : Checkpoint.merged) =
+  Checkpoint.overlay_size a = Checkpoint.overlay_size b
+  &&
+  let ok = ref true in
+  Checkpoint.iter_overlay a ~f:(fun k v ->
+      if Checkpoint.find_overlay b k <> Some v then ok := false);
+  !ok
+
 let merged_equal (a : Checkpoint.merged) (b : Checkpoint.merged) =
-  tbl_equal a.overlay b.overlay
+  overlay_equal a b
   && a.violation = b.violation
   && a.total_pages = b.total_pages
 
@@ -118,6 +180,85 @@ let prop_incremental_merge_equals_rebuilt intervals =
       let rebuilt = Checkpoint.merge contribs in
       merged_equal incremental rebuilt)
     intervals
+
+(* ---- sharded merge vs pre-shard oracle ---------------------------------- *)
+
+(* The pre-shard oracle: nested-scan semantics with no writer index at
+   all.  Overlay is last-writer-wins by iteration; the violation is
+   the smallest live-in byte whose containing word any other worker
+   wrote. *)
+let oracle_merge (contribs : Checkpoint.contribution list) =
+  let overlay = Hashtbl.create 64 in
+  List.iter
+    (fun (c : Checkpoint.contribution) ->
+      Hashtbl.iter
+        (fun addr (w : Checkpoint.word_write) ->
+          match Hashtbl.find_opt overlay addr with
+          | Some (prev : Checkpoint.word_write) when prev.iter >= w.iter -> ()
+          | Some _ | None -> Hashtbl.replace overlay addr w)
+        c.writes)
+    contribs;
+  let violation = ref None in
+  List.iter
+    (fun (r : Checkpoint.contribution) ->
+      Hashtbl.iter
+        (fun addr () ->
+          let conflict =
+            List.exists
+              (fun (w : Checkpoint.contribution) ->
+                w.worker <> r.worker
+                && Hashtbl.mem w.writes (Checkpoint.word_base addr))
+              contribs
+          in
+          if conflict then
+            match !violation with
+            | Some a when a <= addr -> ()
+            | Some _ | None -> violation := Some addr)
+        r.live_in_reads)
+    contribs;
+  (overlay, Option.map (fun addr -> Misspec.Phase2 { addr }) !violation)
+
+let overlay_matches_oracle (m : Checkpoint.merged) oracle =
+  Checkpoint.overlay_size m = Hashtbl.length oracle
+  && Hashtbl.fold
+       (fun k v acc -> acc && Checkpoint.find_overlay m k = Some v)
+       oracle true
+
+(* The tentpole matrix: for every shard count in {1, 4, 7} and both
+   host modes (sequential, 3-domain pool), the sharded merge must
+   reproduce the oracle's overlay and verdict, do the same number of
+   index ops, and — because the sweep must leave every shard empty —
+   re-merge the same contributions identically through the carried
+   state. *)
+let prop_sharded_merge_matches_oracle workerses =
+  let contribs =
+    Checkpoint.extract ~interval_start:0 (reqs_of ~interval_start:0 workerses)
+  in
+  let oracle_ov, oracle_v = oracle_merge contribs in
+  let cells =
+    List.concat_map
+      (fun shards -> [ (shards, None); (shards, Some (Lazy.force pool)) ])
+      [ 1; 4; 7 ]
+  in
+  let ops = ref None in
+  List.for_all
+    (fun (shards, p) ->
+      let state = Checkpoint.create_merge_state ~shards () in
+      let m = Checkpoint.merge ~state ?pool:p contribs in
+      let cell_ops = Checkpoint.index_ops state in
+      let ops_ok =
+        match !ops with
+        | None ->
+          ops := Some cell_ops;
+          true
+        | Some o -> o = cell_ops
+      in
+      let m2 = Checkpoint.merge ~state ?pool:p contribs in
+      ops_ok
+      && overlay_matches_oracle m oracle_ov
+      && m.violation = oracle_v
+      && merged_equal m m2)
+    cells
 
 (* ---- clean-interval short-circuit (regression) -------------------------- *)
 
@@ -144,7 +285,7 @@ let test_clean_interval_no_index_work () =
   let m = Checkpoint.merge ~state [ reader_only 0 (base + 8); reader_only 1 (base + 64) ] in
   check "clean interval: no violation" true (m.violation = None);
   check_int "clean interval: zero index ops" 0 (Checkpoint.index_ops state);
-  check_int "clean interval: empty overlay" 0 (Hashtbl.length m.overlay)
+  check_int "clean interval: empty overlay" 0 (Checkpoint.overlay_size m)
 
 let test_writing_interval_sweeps_delta () =
   let base = Heap.base Heap.Private in
@@ -173,8 +314,10 @@ let test_writing_interval_sweeps_delta () =
 
 let test_violation_reports_smallest_addr () =
   let base = Heap.base Heap.Private in
-  (* Two distinct conflicts; the reported address must be the smaller
-     one regardless of hash-table iteration order. *)
+  (* Two distinct conflicts on different pages (and so, at most shard
+     counts, in different shards); the reported address must be the
+     smaller one at every shard count and in both host modes — the
+     parallel verdict is the min over per-shard minima. *)
   let w =
     let m = Machine.create () in
     Memory.clear_dirty m.Machine.mem;
@@ -195,9 +338,65 @@ let test_violation_reports_smallest_addr () =
     Checkpoint.contribution_of_worker ~worker:0 ~interval_start:0 m ~redux_ranges:[]
       ~reg_partials:[]
   in
-  match (Checkpoint.merge [ r; w ]).violation with
-  | Some (Misspec.Phase2 { addr }) -> check_int "smallest conflict" (base + 8) addr
-  | _ -> Alcotest.fail "expected a phase-2 violation"
+  List.iter
+    (fun (shards, p, label) ->
+      let state = Checkpoint.create_merge_state ~shards () in
+      match (Checkpoint.merge ~state ?pool:p [ r; w ]).violation with
+      | Some (Misspec.Phase2 { addr }) ->
+        check_int (Printf.sprintf "smallest conflict (%s)" label) (base + 8) addr
+      | _ -> Alcotest.fail (Printf.sprintf "expected a phase-2 violation (%s)" label))
+    [ (1, None, "1 shard, seq"); (4, None, "4 shards, seq");
+      (7, None, "7 shards, seq");
+      (1, Some (Lazy.force pool), "1 shard, pool");
+      (4, Some (Lazy.force pool), "4 shards, pool");
+      (7, Some (Lazy.force pool), "7 shards, pool") ]
+
+(* ---- exact live-in counts ------------------------------------------------ *)
+
+(* Recount read-live-in marks straight off a shadow page's bytes — the
+   oracle for [Memory.live_in_bytes]. *)
+let recount_live_in (m : Machine.t) key =
+  match Memory.find_page m.Machine.mem (Memory.base_of_page key) with
+  | None -> 0
+  | Some p ->
+    let bytes = Memory.page_bytes p in
+    let n = ref 0 in
+    for i = 0 to Memory.page_size - 1 do
+      if Char.code (Bytes.get bytes i) = Shadow.read_live_in then incr n
+    done;
+    !n
+
+let counted_live_in (m : Machine.t) key =
+  match Memory.find_page m.Machine.mem (Memory.base_of_page key) with
+  | None -> 0
+  | Some p -> Memory.live_in_bytes p
+
+let test_live_in_count_exact () =
+  let m = Machine.create () in
+  Memory.clear_dirty m.Machine.mem;
+  let base = Heap.base Heap.Private in
+  let check_all msg =
+    List.iter
+      (fun key ->
+        check_int
+          (Printf.sprintf "%s: page %#x" msg key)
+          (recount_live_in m key) (counted_live_in m key))
+      (Memory.dirty_pages ~heap:Heap.Shadow m.Machine.mem)
+  in
+  (* Overlapping reads (the second re-covers already-marked bytes), a
+     page-crossing read, and an unrelated write on the same page. *)
+  Shadow.access m Shadow.Read ~addr:base ~size:100 ~beta:3;
+  Shadow.access m Shadow.Read ~addr:(base + 50) ~size:100 ~beta:3;
+  Shadow.access m Shadow.Read ~addr:(base + 4000) ~size:200 ~beta:3;
+  Shadow.access m Shadow.Write ~addr:(base + 512) ~size:64 ~beta:5;
+  check_all "after overlapping reads";
+  (* Live-in marks survive the interval reset; so must the count. *)
+  ignore (Shadow.reset_interval m);
+  check_all "after reset";
+  (* Partially-overlapping re-read: bytes 100-149 are already marked
+     (Keep — no double count), 150-299 are fresh. *)
+  Shadow.access m Shadow.Read ~addr:(base + 100) ~size:200 ~beta:3;
+  check_all "after partially-overlapping re-read"
 
 (* ---- pooled / domain-parallel interval reset ---------------------------- *)
 
@@ -319,20 +518,21 @@ let test_merge_state_isolation () =
 (* ---- full-pipeline equality --------------------------------------------- *)
 
 (* The whole host-tuning matrix — host_domains {1, 3} x pool cap
-   {0, unbounded} — must be byte-identical: output, result, simulated
-   cycles, every stats counter. *)
+   {0, auto, unbounded} x merge shards {1, 4, 7} (sampled) — must be
+   byte-identical: output, result, simulated cycles, every stats
+   counter. *)
 let prop_pipeline_identical_across_host_domains tmpls =
   let src = Test_props.program_of_templates tmpls in
   let program = Privateer.Pipeline.parse src in
   let tr, _ = Privateer.Pipeline.compile program in
-  let run (host_domains, pool_cap) =
+  let run (host_domains, pool_cap, merge_shards) =
     let config =
       { Privateer_parallel.Executor.default_config with workers = 5; host_domains;
-        pool_cap }
+        pool_cap; merge_shards }
     in
     Privateer.Pipeline.run_parallel ~config tr
   in
-  let a = run (1, 0) in
+  let a = run (1, 0, 1) in
   List.for_all
     (fun cell ->
       let b = run cell in
@@ -343,8 +543,9 @@ let prop_pipeline_identical_across_host_domains tmpls =
       && a.stats.wall_cycles = b.stats.wall_cycles
       && a.stats.private_bytes_read = b.stats.private_bytes_read
       && a.stats.private_bytes_written = b.stats.private_bytes_written)
-    [ (1, Privateer_runtime.Page_pool.unbounded); (3, 0);
-      (3, Privateer_runtime.Page_pool.unbounded) ]
+    [ (1, Privateer_runtime.Page_pool.unbounded, 8); (3, 0, 1);
+      (3, Privateer_runtime.Page_pool.unbounded, 4);
+      (3, Privateer_runtime.Page_pool.auto, 7) ]
 
 (* ---- the pool itself ---------------------------------------------------- *)
 
@@ -382,6 +583,10 @@ let suite =
   List.map QCheck_alcotest.to_alcotest
     [ QCheck.Test.make ~count:60 ~name:"parallel extraction = sequential scan"
         worker_ops_arb prop_parallel_extraction_equals_sequential;
+      QCheck.Test.make ~count:60 ~name:"early-exit scan = byte-wise oracle"
+        worker_ops_arb prop_early_exit_scan_matches_bytewise;
+      QCheck.Test.make ~count:60 ~name:"sharded merge = sequential = oracle"
+        worker_ops_arb prop_sharded_merge_matches_oracle;
       QCheck.Test.make ~count:60 ~name:"incremental merge = rebuilt index"
         intervals_arb prop_incremental_merge_equals_rebuilt;
       QCheck.Test.make ~count:120 ~name:"pooled parallel reset = plain reset"
@@ -403,6 +608,8 @@ let suite =
         test_writing_interval_sweeps_delta;
       Alcotest.test_case "violation pinned to smallest address" `Quick
         test_violation_reports_smallest_addr;
+      Alcotest.test_case "live-in byte count stays exact" `Quick
+        test_live_in_count_exact;
       Alcotest.test_case "pool: task ordering" `Quick test_pool_ordering;
       Alcotest.test_case "pool: exception propagation" `Quick test_pool_exception;
       Alcotest.test_case "pool: shutdown fallback" `Quick test_pool_shutdown_fallback;
