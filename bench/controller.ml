@@ -1,0 +1,223 @@
+(* The `controller` experiment: does the adaptive host-parallelism
+   controller eliminate the merge's parallel-dispatch regression, and
+   do its modes (and the pool schedulers) leave the simulation
+   byte-identical?
+
+   Two measurements:
+
+   - merge wall time through the full controller loop (decide ->
+     merge -> note) on the dense `merge` footprint, at modes never /
+     always / auto x host domains 1 / 4.  `never` at 1 domain is the
+     sequential reference; `always` at 4 domains reproduces the
+     pre-controller behavior (parallel unconditionally — the
+     configuration that regressed on few-core hosts); `auto` at 4
+     domains is the controller's answer, which must come out within
+     5% of the sequential reference (`regression_eliminated`) — by
+     deciding sequential where dispatch loses, and by actually being
+     faster where it wins;
+   - simulated-cycle identity over 18 cells: controller mode {auto,
+     always, never} x pool kind {work-stealing, legacy} x
+     (host_domains, merge_shards) {(1,1), (3,4), (3,7)} on dijkstra
+     must be byte-identical (output, wall cycles, checkpoints) to the
+     1-domain / never / 1-shard baseline — neither the scheduler nor
+     the policy is allowed to move the cycle model.
+
+   Results go to BENCH_controller.json; iteration counts scale down
+   via CONTROLLER_ITERS (CI smoke runs use a small value). *)
+
+open Privateer_runtime
+open Privateer_support
+module Host_controller = Privateer_parallel.Host_controller
+
+let iters () =
+  match Sys.getenv_opt "CONTROLLER_ITERS" with
+  | Some s -> (try max 1 (int_of_string s) with Failure _ -> 40)
+  | None -> 40
+
+(* One merge of the dense footprint, exactly as Commit drives it: the
+   controller decides, the merge runs sequential or parallel at the
+   decided width, the observed cost feeds the EWMA back.  Auto's later
+   rounds therefore run at whatever the controller learned from the
+   earlier ones — which is the point. *)
+let bench_mode mode domains =
+  let cs = Merge.contribs () in
+  let state = Checkpoint.create_merge_state ~shards:Merge.shards () in
+  let units =
+    List.fold_left
+      (fun acc (c : Checkpoint.contribution) ->
+        acc + Hashtbl.length c.Checkpoint.writes
+        + Hashtbl.length c.Checkpoint.live_in_reads)
+      0 cs
+  in
+  let hc = Host_controller.create ~mode ~pool_size:domains () in
+  (* As in Executor.create: no pool unless the controller could ever
+     use it — idle domains tax every minor collection. *)
+  let pool =
+    if domains > 1 && Host_controller.may_parallelize hc then
+      Some (Domain_pool.create ~domains ())
+    else None
+  in
+  let ns =
+    Overhead.time_ns ~rounds:(iters ()) ~reps:1 (fun () ->
+        let d = Host_controller.decide hc Host_controller.Merge ~units in
+        let t0 = Clock.now_ns () in
+        ignore
+          (Checkpoint.merge ~state
+             ?pool:(if d.Host_controller.par then pool else None)
+             ~jobs:d.Host_controller.width cs);
+        let dt = Clock.now_ns () -. t0 in
+        Host_controller.note hc Host_controller.Merge ~units
+          ~par:(d.Host_controller.par && pool <> None)
+          ~ns:dt)
+  in
+  (match pool with Some p -> Domain_pool.shutdown p | None -> ());
+  ns
+
+(* ---- simulated-cycle identity ------------------------------------------- *)
+
+let identity_matrix () =
+  let c = Harness.compiled Privateer_workloads.Dijkstra.workload in
+  let open Privateer.Pipeline in
+  let base =
+    Harness.run_parallel ~host_domains:1 ~merge_shards:1
+      ~host_controller:Host_controller.Never c
+  in
+  let cells =
+    List.concat_map
+      (fun mode ->
+        List.concat_map
+          (fun kind ->
+            List.map
+              (fun (domains, shards) ->
+                let par =
+                  Harness.run_parallel ~host_domains:domains ~merge_shards:shards
+                    ~pool_kind:kind ~host_controller:mode c
+                in
+                let identical =
+                  base.par_cycles = par.par_cycles
+                  && base.stats.wall_cycles = par.stats.wall_cycles
+                  && base.stats.checkpoints = par.stats.checkpoints
+                  && String.equal base.par_output par.par_output
+                in
+                (mode, kind, domains, shards, par, identical))
+              [ (1, 1); (3, 4); (3, 7) ])
+          [ Domain_pool.Work_stealing; Domain_pool.Single_queue ])
+      [ Host_controller.Auto; Host_controller.Always; Host_controller.Never ]
+  in
+  (base, cells)
+
+(* ---- driver ------------------------------------------------------------- *)
+
+let run () =
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf
+    "\n================ controller: adaptive per-stage host parallelism ================\n\n";
+  Printf.printf
+    "merge footprint as in `merge` (%d workers x %d words + %d live-in probes, %d shards); host cores: %d\n\n"
+    Merge.n_workers Merge.words_per_worker Merge.live_in_per_worker Merge.shards
+    cores;
+  let modes =
+    [ (Host_controller.Never, 1); (Host_controller.Never, 4);
+      (Host_controller.Always, 4); (Host_controller.Auto, 1);
+      (Host_controller.Auto, 4) ]
+  in
+  let results =
+    List.map (fun (mode, domains) -> (mode, domains, bench_mode mode domains)) modes
+  in
+  let t_seq =
+    match results with (_, _, ns) :: _ -> ns | [] -> assert false
+  in
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+      [ "controller"; "host domains"; "merge us"; "vs sequential" ]
+  in
+  List.iter
+    (fun (mode, domains, ns) ->
+      Table.add_row t
+        [ Host_controller.mode_to_string mode; string_of_int domains;
+          Printf.sprintf "%.1f" (ns /. 1e3); Printf.sprintf "%.2fx" (ns /. t_seq) ])
+    results;
+  Table.print t;
+  let find mode domains =
+    let _, _, ns =
+      List.find (fun (m, d, _) -> m = mode && d = domains) results
+    in
+    ns
+  in
+  let auto_ns = find Host_controller.Auto 4 in
+  let always_ns = find Host_controller.Always 4 in
+  let auto_vs_seq = auto_ns /. t_seq in
+  let regression_eliminated = auto_vs_seq <= 1.05 in
+  Printf.printf
+    "\nalways@4: %.2fx sequential; auto@4: %.2fx sequential -> regression %s\n"
+    (always_ns /. t_seq) auto_vs_seq
+    (if regression_eliminated then "eliminated (<= 1.05x)" else "NOT eliminated");
+  if cores <= 1 then
+    print_endline
+      "(single host core: auto's core gate alone picks sequential here)";
+
+  let base, cells = identity_matrix () in
+  let open Privateer.Pipeline in
+  Printf.printf
+    "\nsimulated identity (dijkstra, 24 workers): 1 domain / never / 1 shard -> %d wall cycles\n"
+    base.stats.wall_cycles;
+  let all_identical =
+    List.for_all (fun (_, _, _, _, _, identical) -> identical) cells
+  in
+  List.iter
+    (fun (mode, kind, domains, shards, (par : Privateer.Pipeline.par_run),
+          identical) ->
+      Printf.printf
+        "  %-6s / %-13s / %d domains / %d shards -> %d wall cycles; %s\n"
+        (Host_controller.mode_to_string mode)
+        (Domain_pool.kind_to_string kind)
+        domains shards par.stats.wall_cycles
+        (if identical then "identical" else "DIFFERS (BUG)"))
+    cells;
+  Printf.printf "identity matrix (%d cells): %s\n" (List.length cells)
+    (if all_identical then "all cells identical" else "MISMATCH (BUG)");
+
+  let json =
+    let open Json in
+    Obj
+      [ ("experiment", String "controller"); ("host_cores", Int cores);
+        ("iters", Int (iters ()));
+        ( "merge_ns",
+          List
+            (List.map
+               (fun (mode, domains, ns) ->
+                 Obj
+                   [ ("controller", String (Host_controller.mode_to_string mode));
+                     ("host_domains", Int domains); ("merge_ns", Float ns);
+                     ("vs_sequential", Float (ns /. t_seq)) ])
+               results) );
+        ("auto_vs_seq", Float auto_vs_seq);
+        ("always_vs_seq", Float (always_ns /. t_seq));
+        ("regression_eliminated", Bool regression_eliminated);
+        ( "simulated_identity",
+          Obj
+            [ ("workload", String "dijkstra");
+              ("baseline_wall_cycles", Int base.stats.wall_cycles);
+              ("cells_total", Int (List.length cells));
+              ("all_identical", Bool all_identical);
+              ( "cells",
+                List
+                  (List.map
+                     (fun (mode, kind, domains, shards,
+                           (par : Privateer.Pipeline.par_run), identical) ->
+                       Obj
+                         [ ( "controller",
+                             String (Host_controller.mode_to_string mode) );
+                           ("pool_kind", String (Domain_pool.kind_to_string kind));
+                           ("host_domains", Int domains);
+                           ("merge_shards", Int shards);
+                           ("wall_cycles", Int par.stats.wall_cycles);
+                           ("identical_to_baseline", Bool identical) ])
+                     cells) ) ] ) ]
+  in
+  let oc = open_out "BENCH_controller.json" in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "\nwrote BENCH_controller.json"

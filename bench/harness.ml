@@ -35,18 +35,24 @@ let config ?(workers = 24) ?checkpoint_period ?inject ?(serial_commit = false)
     ?(schedule = Privateer_parallel.Schedule.Cyclic) ?(adaptive = false) ?throttle
     ?(host_domains = Privateer_parallel.Runtime_config.default_host_domains)
     ?(pool_cap = Privateer_parallel.Runtime_config.default_pool_cap)
-    ?(merge_shards = Privateer_parallel.Runtime_config.default_merge_shards) () =
+    ?(merge_shards = Privateer_parallel.Runtime_config.default_merge_shards)
+    ?(pool_kind = Privateer_parallel.Runtime_config.default_pool_kind)
+    ?(host_controller = Privateer_parallel.Runtime_config.default_host_controller)
+    () =
   { Privateer_parallel.Executor.default_config with
     workers; checkpoint_period; inject; serial_commit; schedule;
-    adaptive_period = adaptive; throttle; host_domains; pool_cap; merge_shards }
+    adaptive_period = adaptive; throttle; host_domains; pool_cap; merge_shards;
+    pool_kind; host_controller }
 
 let run_parallel ?workers ?checkpoint_period ?inject ?serial_commit ?schedule
-    ?adaptive ?throttle ?host_domains ?pool_cap ?merge_shards c =
+    ?adaptive ?throttle ?host_domains ?pool_cap ?merge_shards ?pool_kind
+    ?host_controller c =
   Pipeline.run_parallel
     ~setup:(Workload.setup c.wl Workload.Ref)
     ~config:
       (config ?workers ?checkpoint_period ?inject ?serial_commit ?schedule ?adaptive
-         ?throttle ?host_domains ?pool_cap ?merge_shards ())
+         ?throttle ?host_domains ?pool_cap ?merge_shards ?pool_kind ?host_controller
+         ())
     c.tr
 
 let speedup c (par : Pipeline.par_run) =

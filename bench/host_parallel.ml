@@ -70,7 +70,7 @@ let bench_extraction reqs domains =
     time_ns ~rounds ~reps:1 (fun () ->
         ignore (Checkpoint.extract ~interval_start:0 reqs))
   else begin
-    let pool = Domain_pool.create ~domains in
+    let pool = Domain_pool.create ~domains () in
     let ns =
       time_ns ~rounds ~reps:1 (fun () ->
           ignore (Checkpoint.extract ~pool ~interval_start:0 reqs))

@@ -78,7 +78,7 @@ let bench_reset ?page_pool domains =
     time_ns ~prep ~rounds ~reps:1 (fun () ->
         ignore (Shadow.reset_interval ?page_pool !machine))
   else begin
-    let pool = Domain_pool.create ~domains in
+    let pool = Domain_pool.create ~domains () in
     let ns =
       time_ns ~prep ~rounds ~reps:1 (fun () ->
           ignore (Shadow.reset_interval ~pool ?page_pool !machine))

@@ -81,8 +81,10 @@ let contribs () =
 
 (* ns per merge of the dense interval through a carried 8-shard state
    (the sweep returns the state to empty, so every round runs the same
-   delta).  Returns total ns plus per-call phase-time averages. *)
-let bench_merge domains =
+   delta).  Returns total ns plus per-call phase-time averages.
+   [kind] selects the pool scheduler (work-stealing vs the legacy
+   single queue) so the curve doubles as the schedulers' comparison. *)
+let bench_merge ?(kind = Domain_pool.Work_stealing) domains =
   let cs = contribs () in
   let state = Checkpoint.create_merge_state ~shards () in
   let rounds = iters () in
@@ -93,7 +95,7 @@ let bench_merge domains =
   let ns =
     if domains = 1 then run None
     else begin
-      let pool = Domain_pool.create ~domains in
+      let pool = Domain_pool.create ~kind ~domains () in
       let ns = run (Some pool) in
       Domain_pool.shutdown pool;
       ns
@@ -215,22 +217,35 @@ let run () =
     "footprint: %d workers x %d words (half-overlapping) + %d live-in probes each, %d shards; host cores: %d\n\n"
     n_workers words_per_worker live_in_per_worker shards cores;
   let domain_counts = [ 1; 2; 4; 8 ] in
-  let curve = List.map (fun d -> (d, bench_merge d)) domain_counts in
+  (* Both pool schedulers over the same domain counts; domains = 1 is
+     the poolless sequential baseline in either kind, so it runs once
+     (under the work-stealing label). *)
+  let curve =
+    List.concat_map
+      (fun kind ->
+        List.filter_map
+          (fun d ->
+            if d = 1 && kind <> Domain_pool.Work_stealing then None
+            else Some (kind, d, bench_merge ~kind d))
+          domain_counts)
+      [ Domain_pool.Work_stealing; Domain_pool.Single_queue ]
+  in
   let t_seq =
-    match curve with (_, (ns, _, _, _)) :: _ -> ns | [] -> assert false
+    match curve with (_, _, (ns, _, _, _)) :: _ -> ns | [] -> assert false
   in
   let t =
     Table.create
       ~aligns:
-        [ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
-          Table.Right ]
-      [ "host domains"; "merge us"; "fill us"; "validate us"; "sweep us";
-        "speedup vs 1" ]
+        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right; Table.Right ]
+      [ "pool kind"; "host domains"; "merge us"; "fill us"; "validate us";
+        "sweep us"; "speedup vs 1" ]
   in
   List.iter
-    (fun (d, (ns, fill, validate, sweep)) ->
+    (fun (kind, d, (ns, fill, validate, sweep)) ->
       Table.add_row t
-        [ string_of_int d; Printf.sprintf "%.1f" (ns /. 1e3);
+        [ Domain_pool.kind_to_string kind; string_of_int d;
+          Printf.sprintf "%.1f" (ns /. 1e3);
           Printf.sprintf "%.1f" (fill /. 1e3);
           Printf.sprintf "%.1f" (validate /. 1e3);
           Printf.sprintf "%.1f" (sweep /. 1e3);
@@ -306,9 +321,10 @@ let run () =
         ( "merge_ns",
           List
             (List.map
-               (fun (d, (ns, fill, validate, sweep)) ->
+               (fun (kind, d, (ns, fill, validate, sweep)) ->
                  Obj
-                   [ ("host_domains", Int d); ("merge_ns", Float ns);
+                   [ ("pool_kind", String (Domain_pool.kind_to_string kind));
+                     ("host_domains", Int d); ("merge_ns", Float ns);
                      ("fill_ns", Float fill); ("validate_ns", Float validate);
                      ("sweep_ns", Float sweep);
                      ("speedup_vs_1", Float (t_seq /. ns)) ])

@@ -184,6 +184,23 @@ let json_report ~seq ~(par : Pipeline.par_run) ~fallbacks =
           [ ("index_fill", Float stats.ns_merge_fill);
             ("validate", Float stats.ns_merge_validate);
             ("sweep", Float stats.ns_merge_sweep) ] );
+      (* Host-parallelism controller: wall time per interval stage and
+         how often each stage ran parallel vs sequential — host-side
+         instrumentation like merge_phase_ns (ns vary run to run; the
+         decision counters depend only on config and workload). *)
+      ( "host_stages",
+        Obj
+          [ ("ns_reset", Float stats.ns_reset);
+            ("ns_extract", Float stats.ns_extract);
+            ("ns_spawn", Float stats.ns_spawn);
+            ("par_resets", Int stats.par_resets);
+            ("seq_resets", Int stats.seq_resets);
+            ("par_extracts", Int stats.par_extracts);
+            ("seq_extracts", Int stats.seq_extracts);
+            ("par_merges", Int stats.par_merges);
+            ("seq_merges", Int stats.seq_merges);
+            ("par_spawns", Int stats.par_spawns);
+            ("seq_spawns", Int stats.seq_spawns) ] );
       ("loops", List loops) ]
 
 let report_run ~seq ~(par : Pipeline.par_run) ~fallbacks =

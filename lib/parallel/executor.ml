@@ -28,6 +28,8 @@ type config = Runtime_config.t = {
   workers : int;
   host_domains : int;
   merge_shards : int;
+  pool_kind : Privateer_support.Domain_pool.kind;
+  host_controller : Host_controller.mode;
   schedule : Schedule.t;
   checkpoint_period : int option;
   adaptive_period : bool;
@@ -50,6 +52,9 @@ type t = {
   stats : Stats.t;
   pool : Privateer_support.Domain_pool.t option;
       (* host-domain pool when host_domains > 1 (shared process-wide) *)
+  controller : Host_controller.t;
+      (* per-stage host-parallelism policy (one per executor: its EWMAs
+         are this engine's observed stage costs) *)
   page_pool : Page_pool.t option;
       (* shadow-page buffer pool when pool_cap > 0 (per executor:
          retired buffers recycle across this engine's intervals) *)
@@ -62,9 +67,18 @@ let create manifest config =
   Runtime_config.validate config;
   let stats = Stats.create () in
   stats.workers <- config.workers;
+  let controller =
+    Host_controller.create ~mode:config.host_controller
+      ~pool_size:(max 1 config.host_domains) ()
+  in
+  (* Spawn the pool only when the controller could ever use it: idle
+     domains tax every minor collection, so [Never] (and single-core
+     [Auto]) run poolless — host-only, the simulation cannot tell. *)
   let pool =
-    if config.host_domains > 1 then
-      Some (Privateer_support.Domain_pool.shared ~domains:config.host_domains)
+    if config.host_domains > 1 && Host_controller.may_parallelize controller then
+      Some
+        (Privateer_support.Domain_pool.shared ~kind:config.pool_kind
+           ~domains:config.host_domains ())
     else None
   in
   let page_pool =
@@ -75,7 +89,7 @@ let create manifest config =
         (Page_pool.create ~cap:config.pool_cap ~fill:(Char.chr Shadow.old_write) ())
     else None
   in
-  { manifest; config; stats; pool; page_pool; fallbacks = 0;
+  { manifest; config; stats; pool; controller; page_pool; fallbacks = 0;
     suspended = Hashtbl.create 4 }
 
 let env t =
@@ -166,11 +180,12 @@ let run_invocation t (st : Interp.t) fr (spec : Manifest.loop_spec) ~var ~init_v
       else begin
         let ctx = Commit.make_ctx env st fr spec ~io ~emit_main
             ~serial_commit:t.config.serial_commit ~pool:t.pool
-            ~page_pool:t.page_pool ~merge_shards:t.config.merge_shards
+            ~controller:t.controller ~page_pool:t.page_pool
+            ~merge_shards:t.config.merge_shards ()
         in
         let workers =
-          Worker.spawn ?pool:t.pool env st fr spec ctx.Commit.ranges nw
-            ~now:!timeline
+          Worker.spawn ?pool:t.pool ~controller:t.controller env st fr spec
+            ctx.Commit.ranges nw ~now:!timeline
         in
         let rec interval_loop i0 =
           let hi = min n (i0 + Recovery.current_period period) in

@@ -23,6 +23,16 @@ type t = {
          the merge's fill / validate / sweep passes run as one job per
          shard on the host pool.  Host-only, like host_domains —
          verdicts and overlays are byte-identical at any setting. *)
+  pool_kind : Privateer_support.Domain_pool.kind;
+      (* scheduler behind the host-domain pool: the work-stealing
+         per-domain deques (default) or the legacy single mutex
+         queue, kept as the differential-testing oracle.  Host-only. *)
+  host_controller : Host_controller.mode;
+      (* per-stage host-parallelism policy: auto (measure, and fan
+         out only where it wins), always (pre-controller behavior:
+         parallel whenever a pool exists), never (the sequential
+         reference path).  Host-only: simulated cycles and verdicts
+         are byte-identical at any setting. *)
   schedule : Schedule.t; (* iteration-assignment policy *)
   checkpoint_period : int option; (* None: auto (aim ~6 per invocation) *)
   adaptive_period : bool;
@@ -85,9 +95,30 @@ let default_pool_cap =
     | None -> Page_pool.unbounded)
   | None -> Page_pool.unbounded
 
+(* PRIVATEER_POOL_KIND ("work-stealing" | "legacy") selects the
+   domain-pool scheduler, PRIVATEER_HOST_CONTROLLER ("auto" | "always"
+   | "never") the host-parallelism policy — so CI can force every
+   (kind x policy) cell through the unmodified suites. *)
+let default_pool_kind =
+  match Sys.getenv_opt "PRIVATEER_POOL_KIND" with
+  | Some s -> (
+    match Privateer_support.Domain_pool.kind_of_string s with
+    | Some k -> k
+    | None -> Privateer_support.Domain_pool.Work_stealing)
+  | None -> Privateer_support.Domain_pool.Work_stealing
+
+let default_host_controller =
+  match Sys.getenv_opt "PRIVATEER_HOST_CONTROLLER" with
+  | Some s -> (
+    match Host_controller.mode_of_string s with
+    | Some m -> m
+    | None -> Host_controller.Auto)
+  | None -> Host_controller.Auto
+
 let default =
   { workers = 4; host_domains = default_host_domains;
-    merge_shards = default_merge_shards; schedule = Schedule.Cyclic;
+    merge_shards = default_merge_shards; pool_kind = default_pool_kind;
+    host_controller = default_host_controller; schedule = Schedule.Cyclic;
     checkpoint_period = None; adaptive_period = false; throttle = None;
     pool_cap = default_pool_cap; costs = Cost_model.default; inject = None;
     validate = true; serial_commit = false }
@@ -124,14 +155,16 @@ let validate config =
 
 (* ---- builder ---------------------------------------------------------- *)
 
-let make ?workers ?host_domains ?merge_shards ?schedule ?checkpoint_period
-    ?adaptive_period ?throttle ?pool_cap ?costs ?inject ?validate:validate_opt
-    ?serial_commit () =
+let make ?workers ?host_domains ?merge_shards ?pool_kind ?host_controller
+    ?schedule ?checkpoint_period ?adaptive_period ?throttle ?pool_cap ?costs
+    ?inject ?validate:validate_opt ?serial_commit () =
   let opt v d = Option.value v ~default:d in
   let config =
     { workers = opt workers default.workers;
       host_domains = opt host_domains default.host_domains;
       merge_shards = opt merge_shards default.merge_shards;
+      pool_kind = opt pool_kind default.pool_kind;
+      host_controller = opt host_controller default.host_controller;
       schedule = opt schedule default.schedule;
       checkpoint_period = opt checkpoint_period default.checkpoint_period;
       adaptive_period = opt adaptive_period default.adaptive_period;
@@ -197,6 +230,36 @@ let cli_bindings =
       b_flag_like = false;
       b_apply =
         int_field "merge-shards" (fun t merge_shards -> { t with merge_shards }) };
+    { b_flags = [ "pool-kind" ]; b_docv = "KIND";
+      b_doc =
+        "Domain-pool scheduler: 'work-stealing' (per-domain deques, the default) \
+         or 'legacy' (single mutex queue, the differential-testing oracle; \
+         default \\$(b,PRIVATEER_POOL_KIND)).  Host-only.";
+      b_flag_like = false;
+      b_apply =
+        (fun t s ->
+          match Privateer_support.Domain_pool.kind_of_string s with
+          | Some pool_kind -> Ok { t with pool_kind }
+          | None ->
+            Error
+              (Printf.sprintf "pool-kind: expected 'work-stealing' or 'legacy', got %S"
+                 s)) };
+    { b_flags = [ "host-controller" ]; b_docv = "MODE";
+      b_doc =
+        "Per-stage host-parallelism policy: 'auto' (measure per stage and fan \
+         out only where it wins — the default), 'always' (parallel whenever a \
+         pool exists), 'never' (sequential reference path; default \
+         \\$(b,PRIVATEER_HOST_CONTROLLER)).  Host-only: simulated cycles and \
+         verdicts are identical at any setting.";
+      b_flag_like = false;
+      b_apply =
+        (fun t s ->
+          match Host_controller.mode_of_string s with
+          | Some host_controller -> Ok { t with host_controller }
+          | None ->
+            Error
+              (Printf.sprintf "host-controller: expected auto, always or never, got %S"
+                 s)) };
     { b_flags = [ "checkpoint" ]; b_docv = "K";
       b_doc = "Checkpoint period in iterations ('none': auto).";
       b_flag_like = false;

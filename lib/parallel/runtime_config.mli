@@ -26,6 +26,21 @@ type t = {
           — verdicts and overlays are byte-identical at any setting.
           Default: [PRIVATEER_MERGE_SHARDS] or
           [Checkpoint.default_shards] (8). *)
+  pool_kind : Privateer_support.Domain_pool.kind;
+      (** scheduler behind the host-domain pool: [Work_stealing]
+          (per-domain deques; the default) or [Single_queue] (the
+          legacy single mutex queue, kept as the differential-testing
+          oracle).  Host-only, like [host_domains].  Default:
+          [PRIVATEER_POOL_KIND] (["work-stealing"] or ["legacy"]) or
+          work-stealing. *)
+  host_controller : Host_controller.mode;
+      (** per-stage host-parallelism policy: [Auto] measures each
+          stage's sequential and parallel cost and fans out only where
+          parallelism wins; [Always] reproduces the pre-controller
+          behavior (parallel whenever a pool exists); [Never] forces
+          the sequential reference path.  Host-only — simulated cycles
+          and verdicts are byte-identical at any setting.  Default:
+          [PRIVATEER_HOST_CONTROLLER] or [Auto]. *)
   schedule : Schedule.t;  (** iteration-assignment policy *)
   checkpoint_period : int option;
       (** [None]: auto (aim ~6 checkpoints per invocation) *)
@@ -63,6 +78,14 @@ val default_pool_cap : int
 (** The [PRIVATEER_SHADOW_POOL_CAP] environment default (unbounded
     when unset; the string ["auto"] selects [Page_pool.auto]). *)
 
+val default_pool_kind : Privateer_support.Domain_pool.kind
+(** The [PRIVATEER_POOL_KIND] environment default (work-stealing when
+    unset or unparseable). *)
+
+val default_host_controller : Host_controller.mode
+(** The [PRIVATEER_HOST_CONTROLLER] environment default ([Auto] when
+    unset or unparseable). *)
+
 val parse_pool_cap : string -> int option
 (** Parse a pool-cap string: a non-negative integer, or ["auto"] for
     [Page_pool.auto].  [None] on anything else. *)
@@ -81,6 +104,8 @@ val make :
   ?workers:int ->
   ?host_domains:int ->
   ?merge_shards:int ->
+  ?pool_kind:Privateer_support.Domain_pool.kind ->
+  ?host_controller:Host_controller.mode ->
   ?schedule:Schedule.t ->
   ?checkpoint_period:int option ->
   ?adaptive_period:bool ->

@@ -230,17 +230,40 @@ let setup_worker (env : env) (st : Interp.t) fr spec ranges ~now i =
   wst.hooks <- hooks env w;
   w
 
-let spawn ?pool (env : env) (st : Interp.t) fr spec ranges n_workers ~now =
+let spawn ?pool ?controller (env : env) (st : Interp.t) fr spec ranges n_workers
+    ~now =
   let cm = env.cm in
+  (* The controller (when threaded down) picks sequential vs parallel
+     setup from observed per-stage cost; without one a configured pool
+     always fans out — the pre-controller behavior. *)
+  let d =
+    match controller with
+    | Some hc -> Host_controller.decide hc Host_controller.Spawn ~units:n_workers
+    | None -> { Host_controller.par = pool <> None; width = max_int }
+  in
+  let t0 = Privateer_support.Clock.now_ns () in
   let workers =
     match pool with
-    | Some dp when Privateer_support.Domain_pool.size dp > 1 && n_workers > 1 ->
+    | Some dp
+      when d.Host_controller.par
+           && Privateer_support.Domain_pool.size dp > 1
+           && n_workers > 1 ->
+      env.stats.par_spawns <- env.stats.par_spawns + 1;
       Privateer_support.Domain_pool.run dp
         (List.init n_workers (fun i ->
              fun () -> setup_worker env st fr spec ranges ~now i))
     | Some _ | None ->
+      env.stats.seq_spawns <- env.stats.seq_spawns + 1;
       List.init n_workers (setup_worker env st fr spec ranges ~now)
   in
+  let ns = Privateer_support.Clock.now_ns () -. t0 in
+  env.stats.ns_spawn <- env.stats.ns_spawn +. ns;
+  (match controller with
+  | Some hc ->
+    Host_controller.note hc Host_controller.Spawn ~units:n_workers
+      ~par:(d.Host_controller.par && pool <> None && n_workers > 1)
+      ~ns
+  | None -> ());
   (* Stats stay off the parallel tasks: one aggregate charge, equal to
      the per-worker sum the sequential path accumulated. *)
   env.stats.cyc_spawn <-

@@ -165,8 +165,16 @@ let scan_sequential ~interval_start mem keys =
 (* Extract every worker's interval contribution.  With a pool of size
    > 1 the page scans fan out as one flat task list over (worker, page
    chunk); without one (or when there is nothing to scan in parallel)
-   the scan runs sequentially — the reference path. *)
-let extract ?pool ~interval_start (reqs : extract_request list) =
+   the scan runs sequentially — the reference path.
+
+   [plan] is the host controller's hook: it receives the dirty page
+   count and the exact marked-byte total (the per-page timestamp +
+   live-in mark counts the shadow fast path maintains — the same
+   counts that bound the early-exit scan) and returns the per-worker
+   chunk count; <= 1 selects the sequential path even with a pool.
+   Without [plan], a configured pool fans out unconditionally at its
+   size (the pre-controller behavior). *)
+let extract ?pool ?plan ~interval_start (reqs : extract_request list) =
   let keyed =
     List.map
       (fun req ->
@@ -175,8 +183,26 @@ let extract ?pool ~interval_start (reqs : extract_request list) =
   in
   let pool_size = match pool with Some p -> Domain_pool.size p | None -> 1 in
   let total_pages = List.fold_left (fun acc (_, ks) -> acc + List.length ks) 0 keyed in
+  let chunks =
+    match plan with
+    | None -> pool_size
+    | Some f ->
+      let marked =
+        List.fold_left
+          (fun acc (req, keys) ->
+            let mem = req.req_machine.Machine.mem in
+            List.fold_left
+              (fun acc key ->
+                match Memory.find_page mem (Memory.base_of_page key) with
+                | Some p -> acc + Memory.timestamp_bytes p + Memory.live_in_bytes p
+                | None -> acc)
+              acc keys)
+          0 keyed
+      in
+      f ~pages:total_pages ~marked
+  in
   match pool with
-  | Some pool when pool_size > 1 && total_pages > 1 ->
+  | Some pool when pool_size > 1 && chunks > 1 && total_pages > 1 ->
     (* One flat task list: each task scans one chunk of one worker's
        dirty pages into task-local tables. *)
     let jobs =
@@ -191,7 +217,7 @@ let extract ?pool ~interval_start (reqs : extract_request list) =
                    (fun key -> scan_page ~interval_start mem key writes live_in_reads)
                    chunk;
                  (writes, live_in_reads)))
-            (chunk_keys pool_size keys))
+            (chunk_keys chunks keys))
         keyed
     in
     let parts = List.combine (List.map fst jobs) (Domain_pool.run pool (List.map snd jobs)) in
@@ -303,24 +329,28 @@ let phase_timings state =
    3. sweep: remove this interval's inserted delta so every shard's
       carried index is empty again.
 
-   With [?pool] (size > 1), each pass runs as one job per shard on the
-   pool's domains.  Jobs read the quiescent contributions and touch
-   only their own shard's tables, so no two jobs share mutable state;
-   the per-shard entry streams are the same subsequences in either
-   mode, making tables, op counts and overlay slices identical to the
-   sequential path at any domain count.  The violation verdict is the
-   minimum over per-shard minima — i.e. still the globally smallest
-   conflicting byte address, so the verdict cannot depend on shard
-   count, domain count, or hash iteration order.  Without a pool, a
-   single pass routes each address to its shard directly (no
-   per-shard re-walk of the contributions).
+   With [?pool] (size > 1), each pass runs as parallel jobs over
+   contiguous shard groups on the pool's domains — [jobs] groups
+   (clamped to [1, shards]; default one job per shard, the
+   pre-controller granularity; <= 1 selects the sequential path).
+   Jobs read the quiescent contributions and touch only their own
+   shards' tables, so no two jobs share mutable state; the per-shard
+   entry streams are the same subsequences in either mode and at any
+   grouping, making tables, op counts and overlay slices identical to
+   the sequential path at any domain count.  The violation verdict is
+   the minimum over per-group minima of per-shard minima — i.e. still
+   the globally smallest conflicting byte address, so the verdict
+   cannot depend on shard count, job count, domain count, or hash
+   iteration order.  Without a pool, a single pass routes each
+   address to its shard directly (no per-shard re-walk of the
+   contributions).
 
    With [?state], the shard tables are the carried ones: merge cost is
    proportional to this interval's entries (insert the delta, sweep it
    out again), and an interval with no new writes short-circuits all
    three passes outright — no allocation, no hashing, no read
    iteration, no pool dispatch. *)
-let merge ?state ?pool (contribs : contribution list) =
+let merge ?state ?pool ?jobs (contribs : contribution list) =
   let st = match state with Some s -> s | None -> create_merge_state () in
   let shards = Array.length st.ms_shards in
   let have_writes =
@@ -331,8 +361,18 @@ let merge ?state ?pool (contribs : contribution list) =
   in
   let violation = ref None in
   if have_writes then begin
+    let jobs = match jobs with Some j -> max 0 (min j shards) | None -> shards in
     let par =
-      match pool with Some p when Domain_pool.size p > 1 -> Some p | _ -> None
+      match pool with
+      | Some p when Domain_pool.size p > 1 && jobs > 1 -> Some p
+      | _ -> None
+    in
+    (* Contiguous shard groups, one parallel job each.  [jobs >=
+       shards] degenerates to one group per shard. *)
+    let groups =
+      let per = (shards + max 1 jobs - 1) / max 1 jobs in
+      List.init ((shards + per - 1) / per) (fun j ->
+          (j * per, min shards ((j + 1) * per)))
     in
     let inserted = Array.make shards [] in
     (* Route one word write into shard tables [writers]/[ov];
@@ -370,24 +410,32 @@ let merge ?state ?pool (contribs : contribution list) =
     | Some p ->
       let results =
         Domain_pool.run p
-          (List.init shards (fun s () ->
-               let writers = st.ms_shards.(s) in
-               let ov = overlay.(s) in
-               let ins = ref [] in
+          (List.map
+             (fun (lo, hi) () ->
+               (* One walk per group, routing to the group's shards —
+                  each shard's entry stream is the same subsequence
+                  the per-shard job saw, so tables and op counts are
+                  grouping-invariant. *)
+               let ins = Array.init shards (fun _ -> ref []) in
                let ops = ref 0 in
                List.iter
                  (fun c ->
                    Hashtbl.iter
                      (fun addr w ->
-                       if shard_of ~shards addr = s then
-                         fill_word writers ov ins ops addr w c.worker)
+                       let s = shard_of ~shards addr in
+                       if s >= lo && s < hi then
+                         fill_word st.ms_shards.(s) overlay.(s) ins.(s) ops addr w
+                           c.worker)
                      c.writes)
                  contribs;
-               (!ins, !ops)))
+               (lo, hi, Array.map ( ! ) ins, !ops))
+             groups)
       in
-      List.iteri
-        (fun s (ins, ops) ->
-          inserted.(s) <- ins;
+      List.iter
+        (fun (lo, hi, ins, ops) ->
+          for s = lo to hi - 1 do
+            inserted.(s) <- ins.(s)
+          done;
           st.ms_index_ops <- st.ms_index_ops + ops)
         results);
     let t1 = Clock.now_ns () in
@@ -414,22 +462,22 @@ let merge ?state ?pool (contribs : contribution list) =
     | Some p ->
       let minima =
         Domain_pool.run p
-          (List.init shards (fun s () ->
+          (List.map
+             (fun (lo, hi) () ->
                let best = ref None in
                List.iter
                  (fun reader ->
                    Hashtbl.iter
                      (fun addr () ->
-                       if
-                         shard_of ~shards (word_base addr) = s
-                         && probe reader.worker addr
-                       then
+                       let s = shard_of ~shards (word_base addr) in
+                       if s >= lo && s < hi && probe reader.worker addr then
                          match !best with
                          | Some a when a <= addr -> ()
                          | Some _ | None -> best := Some addr)
                      reader.live_in_reads)
                  contribs;
-               !best))
+               !best)
+             groups)
       in
       violation :=
         List.fold_left
@@ -454,10 +502,16 @@ let merge ?state ?pool (contribs : contribution list) =
     | Some p ->
       let swept =
         Domain_pool.run p
-          (List.init shards (fun s () ->
-               let writers = st.ms_shards.(s) in
-               List.iter (fun addr -> Hashtbl.remove writers addr) inserted.(s);
-               List.length inserted.(s)))
+          (List.map
+             (fun (lo, hi) () ->
+               let k = ref 0 in
+               for s = lo to hi - 1 do
+                 let writers = st.ms_shards.(s) in
+                 List.iter (fun addr -> Hashtbl.remove writers addr) inserted.(s);
+                 k := !k + List.length inserted.(s)
+               done;
+               !k)
+             groups)
       in
       List.iter (fun k -> st.ms_index_ops <- st.ms_index_ops + k) swept);
     let t3 = Clock.now_ns () in

@@ -65,9 +65,17 @@ type extract_request = {
     With [?pool] (of size > 1), the page scans run as one flat task
     list over (worker, page-chunk) pairs on the pool's domains; the
     result is byte-identical to the sequential path, which remains the
-    default and the correctness oracle. *)
+    default and the correctness oracle.
+
+    [?plan] is the host controller's hook: it receives the dirty page
+    total and the exact marked-byte total (the per-page timestamp and
+    live-in counts the shadow fast path maintains) and returns the
+    per-worker chunk count — [<= 1] selects the sequential path even
+    with a pool.  Without it, a configured pool fans out at its size.
+    Host-only either way: the extracted contributions are identical. *)
 val extract :
   ?pool:Privateer_support.Domain_pool.t ->
+  ?plan:(pages:int -> marked:int -> int) ->
   interval_start:int ->
   extract_request list ->
   contribution list
@@ -149,18 +157,22 @@ val phase_timings : merge_state -> phase_ns
     validation (one O(1) probe per live-in byte, not a scan over every
     writer's contribution), and delta sweep.
 
-    With [?pool] (size > 1) each pass runs as one job per shard on the
-    pool's domains; jobs touch only their own shard's tables, and the
-    violation verdict is the minimum over per-shard minima, so
-    overlays, op counts and verdicts are byte-identical to the
-    sequential path at any domain count and shard count.  Passing
-    [?state] reuses the carried index (cost proportional to this
-    interval's entries; an interval with no new writes short-circuits
-    all three passes entirely); omitting it builds a fresh ephemeral
-    index with identical semantics. *)
+    With [?pool] (size > 1) each pass runs as parallel jobs over
+    contiguous shard groups on the pool's domains — [?jobs] groups,
+    clamped to [1, shards] (default: one job per shard; [<= 1]
+    selects the sequential path even with a pool, the host
+    controller's lever).  Jobs touch only their own shards' tables,
+    and the violation verdict is the minimum over per-group minima,
+    so overlays, op counts and verdicts are byte-identical to the
+    sequential path at any domain count, shard count, and job count.
+    Passing [?state] reuses the carried index (cost proportional to
+    this interval's entries; an interval with no new writes
+    short-circuits all three passes entirely); omitting it builds a
+    fresh ephemeral index with identical semantics. *)
 val merge :
   ?state:merge_state ->
   ?pool:Privateer_support.Domain_pool.t ->
+  ?jobs:int ->
   contribution list ->
   merged
 

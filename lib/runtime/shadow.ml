@@ -202,10 +202,13 @@ let chunk_jobs n jobs =
    2. parallel (over [pool] when given): the disjoint [Bytes] work —
       word-wise scan-rewrites of surviving buffers and constant refills
       of retired ones.  Nothing here touches the page table, the dirty
-      set, or the pool's free list;
+      set, or the pool's free list.  [plan] is the host controller's
+      hook: it receives the job count and returns the chunk width
+      ([<= 1] selects the sequential path even with a pool); without
+      it, a configured pool fans out [2 * size] ways as before;
    3. sequential: deposit the refilled buffers for recycling at the
       next interval. *)
-let reset_interval ?pool ?page_pool machine =
+let reset_interval ?pool ?page_pool ?plan machine =
   let mem = machine.Machine.mem in
   let mapped = Memory.mapped_page_count mem ~heap:Heap.Shadow in
   (match page_pool with
@@ -249,9 +252,15 @@ let reset_interval ?pool ?page_pool machine =
         jobs := (fun () -> Bytes.fill b 0 Memory.page_size fill) :: !jobs)
       !retired
   | None -> ());
+  let width =
+    match plan with
+    | Some f -> f ~jobs:(List.length !jobs)
+    | None -> (
+      match pool with Some dp -> Domain_pool.size dp * 2 | None -> 1)
+  in
   (match pool with
-  | Some dp when Domain_pool.size dp > 1 ->
-    let chunks = chunk_jobs (Domain_pool.size dp * 2) !jobs in
+  | Some dp when Domain_pool.size dp > 1 && width > 1 ->
+    let chunks = chunk_jobs width !jobs in
     ignore
       (Domain_pool.run dp
          (List.map (fun fs () -> List.iter (fun f -> f ()) fs) chunks))

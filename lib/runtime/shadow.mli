@@ -74,11 +74,15 @@ val access :
     [page_pool] retires fully-timestamped pages (exact count equal to
     [Memory.page_size]) by swapping in a pre-filled buffer instead of
     rewriting 4096 bytes, with retired buffers refilled off the
-    sequential path and recycled across intervals.
+    sequential path and recycled across intervals.  [plan] is the
+    host controller's hook: given the byte-work job count it returns
+    the chunk width ([<= 1]: sequential even with a pool); without it
+    a configured pool fans out [2 * size] ways.
     @raise Invalid_argument if [page_pool]'s fill byte is not
     [old_write]. *)
 val reset_interval :
   ?pool:Privateer_support.Domain_pool.t ->
   ?page_pool:Page_pool.t ->
+  ?plan:(jobs:int -> int) ->
   Privateer_machine.Machine.t ->
   int

@@ -34,7 +34,7 @@ let access machine op ~addr ~size ~beta =
    sequentially, in place, per byte.  The optional arguments exist so
    it satisfies [Shadow_sig.S] and the property tests can drive either
    implementation through one functor. *)
-let reset_interval ?pool:_ ?page_pool:_ machine =
+let reset_interval ?pool:_ ?page_pool:_ ?plan:_ machine =
   let mem = machine.Machine.mem in
   let pages =
     List.filter

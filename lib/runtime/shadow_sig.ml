@@ -19,13 +19,15 @@ module type S = sig
   (** Checkpoint-time reset: every timestamp becomes old-write;
       read-live-in marks are preserved.  Returns the number of mapped
       shadow pages (the simulated cost charge — identical in every
-      implementation).  [pool] fans the host work over domains and
-      [page_pool] enables swap-retirement of fully-timestamped pages;
-      both are host-side accelerations an implementation may ignore,
-      and neither moves a single simulated cycle or metadata byte. *)
+      implementation).  [pool] fans the host work over domains,
+      [page_pool] enables swap-retirement of fully-timestamped pages,
+      and [plan] lets a host controller pick the fan-out width; all
+      three are host-side accelerations an implementation may ignore,
+      and none moves a single simulated cycle or metadata byte. *)
   val reset_interval :
     ?pool:Privateer_support.Domain_pool.t ->
     ?page_pool:Page_pool.t ->
+    ?plan:(jobs:int -> int) ->
     Privateer_machine.Machine.t ->
     int
 end

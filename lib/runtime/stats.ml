@@ -40,6 +40,24 @@ type t = {
   mutable ns_merge_fill : float;
   mutable ns_merge_validate : float;
   mutable ns_merge_sweep : float;
+  (* Host wall time of the other three host-parallel stages (interval
+     reset, checkpoint extraction, spawn setup) — instrumentation like
+     ns_merge_*, feeding the host controller and the CLI report. *)
+  mutable ns_reset : float;
+  mutable ns_extract : float;
+  mutable ns_spawn : float;
+  (* How often the host controller ran each stage parallel vs
+     sequentially.  Host-side like the ns_* fields: in auto mode the
+     split follows observed host timings, so it may vary run to run
+     and must never feed a simulated decision. *)
+  mutable par_resets : int;
+  mutable seq_resets : int;
+  mutable par_extracts : int;
+  mutable seq_extracts : int;
+  mutable par_merges : int;
+  mutable seq_merges : int;
+  mutable par_spawns : int;
+  mutable seq_spawns : int;
   loops : (int, loop_stats) Hashtbl.t;
 }
 
@@ -50,7 +68,9 @@ let create () =
     cyc_private_read = 0; cyc_private_write = 0; cyc_checkpoint = 0; cyc_spawn = 0;
     cyc_join = 0; cyc_recovery = 0; wall_cycles = 0; workers = 0;
     ns_merge_fill = 0.0; ns_merge_validate = 0.0; ns_merge_sweep = 0.0;
-    loops = Hashtbl.create 4 }
+    ns_reset = 0.0; ns_extract = 0.0; ns_spawn = 0.0; par_resets = 0;
+    seq_resets = 0; par_extracts = 0; seq_extracts = 0; par_merges = 0;
+    seq_merges = 0; par_spawns = 0; seq_spawns = 0; loops = Hashtbl.create 4 }
 
 let loop_stats t loop =
   match Hashtbl.find_opt t.loops loop with

@@ -18,8 +18,9 @@ type loop_stats = {
 (** Whole-run counters.  Every field is part of the deterministic
     simulation — none may vary with host parallelism
     ([Executor.config.host_domains]), a property the host-parallel
-    test suite asserts — except the [ns_merge_*] host-time
-    accumulators, which are explicitly host-side instrumentation. *)
+    test suite asserts — except the [ns_*] host-time accumulators and
+    the [par_*]/[seq_*] host-controller decision counters, which are
+    explicitly host-side instrumentation. *)
 type t = {
   mutable invocations : int;
   mutable checkpoints : int;
@@ -47,6 +48,22 @@ type t = {
       (** host ns in the phase-2 validation pass *)
   mutable ns_merge_sweep : float;
       (** host ns in the delta-sweep pass *)
+  mutable ns_reset : float;
+      (** host ns in the shadow interval reset — instrumentation, like
+          [ns_merge_fill] *)
+  mutable ns_extract : float;  (** host ns in checkpoint extraction *)
+  mutable ns_spawn : float;  (** host ns in spawn-time snapshot setup *)
+  mutable par_resets : int;
+      (** interval resets the host controller fanned out (vs
+          [seq_resets] run sequentially).  Host-side: in auto mode the
+          split follows observed host timings. *)
+  mutable seq_resets : int;
+  mutable par_extracts : int;
+  mutable seq_extracts : int;
+  mutable par_merges : int;
+  mutable seq_merges : int;
+  mutable par_spawns : int;
+  mutable seq_spawns : int;
   loops : (int, loop_stats) Hashtbl.t;
 }
 

@@ -1,28 +1,143 @@
 (* A small fixed pool of OCaml 5 domains.
 
-   Plain mutex/condition work queue: [run] pushes its tasks, the
-   calling domain drains the queue alongside the workers, then waits
-   for the last in-flight task.  Per-run completion state lives in the
-   run's closure (fresh condition per call), so a pool object can be
-   reused by successive runs without carry-over; the one mutex guards
-   both the queue and every run's completion counter.
+   Two scheduler kinds share one [run] contract:
+
+   - [Work_stealing] (the default): one chunked circular deque per
+     domain, guarded by a per-deque mutex.  [run] submits its tasks in
+     contiguous batches — one lock acquisition per deque, not per
+     task — and every domain pops its own deque LIFO (hot cache) while
+     idle domains steal FIFO from the other end, so a straggler's
+     oldest work migrates first.  A global mutex/condition pair exists
+     only for sleeping: an atomic count of enqueued tasks is the
+     wake-up predicate, and submitters broadcast while holding the
+     mutex, so a worker that re-checks the count under the lock cannot
+     miss a wake-up.
+
+   - [Single_queue]: the original single mutex/condition work queue,
+     kept verbatim behind the kind flag as the differential-testing
+     oracle for the work-stealing scheduler.
+
+   Either way [run] wraps each task to capture its result or
+   exception, the calling domain helps drain the work, and results are
+   re-assembled in task order with the first (task-order) exception
+   re-raised — so the two kinds are observably identical on correct
+   task sets, and differential tests can compare them on incorrect
+   ones too.
 
    Determinism contract: tasks receive no ordering or placement
    guarantees, so callers must make task results independent of
    execution order; [run] re-assembles them in task order. *)
 
+type kind = Work_stealing | Single_queue
+
+let kind_to_string = function
+  | Work_stealing -> "work-stealing"
+  | Single_queue -> "legacy"
+
+let kind_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "work-stealing" | "ws" -> Some Work_stealing
+  | "legacy" | "single-queue" -> Some Single_queue
+  | _ -> None
+
+(* ---- per-domain deque -------------------------------------------------- *)
+
+(* A growable circular buffer: the owner pushes and pops at the tail
+   (LIFO), thieves take from the head (FIFO).  One mutex per deque —
+   contention is per-victim, not global, and the batched submission
+   touches each deque once. *)
+type deque = {
+  dq_mutex : Mutex.t;
+  mutable dq_buf : (unit -> unit) option array;
+  mutable dq_head : int; (* index of the oldest task *)
+  mutable dq_len : int;
+}
+
+let deque_create () =
+  { dq_mutex = Mutex.create (); dq_buf = Array.make 16 None; dq_head = 0;
+    dq_len = 0 }
+
+(* Callers hold [dq_mutex]. *)
+let deque_grow dq needed =
+  let cap = Array.length dq.dq_buf in
+  if dq.dq_len + needed > cap then begin
+    let cap' = max (cap * 2) (dq.dq_len + needed) in
+    let buf = Array.make cap' None in
+    for i = 0 to dq.dq_len - 1 do
+      buf.(i) <- dq.dq_buf.((dq.dq_head + i) mod cap)
+    done;
+    dq.dq_buf <- buf;
+    dq.dq_head <- 0
+  end
+
+let deque_push_batch dq tasks =
+  Mutex.lock dq.dq_mutex;
+  deque_grow dq (List.length tasks);
+  let cap = Array.length dq.dq_buf in
+  List.iter
+    (fun task ->
+      dq.dq_buf.((dq.dq_head + dq.dq_len) mod cap) <- Some task;
+      dq.dq_len <- dq.dq_len + 1)
+    tasks;
+  Mutex.unlock dq.dq_mutex
+
+(* Owner side: newest task first (LIFO). *)
+let deque_pop dq =
+  Mutex.lock dq.dq_mutex;
+  let r =
+    if dq.dq_len = 0 then None
+    else begin
+      let i = (dq.dq_head + dq.dq_len - 1) mod Array.length dq.dq_buf in
+      let task = dq.dq_buf.(i) in
+      dq.dq_buf.(i) <- None;
+      dq.dq_len <- dq.dq_len - 1;
+      task
+    end
+  in
+  Mutex.unlock dq.dq_mutex;
+  r
+
+(* Thief side: oldest task first (FIFO). *)
+let deque_steal dq =
+  Mutex.lock dq.dq_mutex;
+  let r =
+    if dq.dq_len = 0 then None
+    else begin
+      let task = dq.dq_buf.(dq.dq_head) in
+      dq.dq_buf.(dq.dq_head) <- None;
+      dq.dq_head <- (dq.dq_head + 1) mod Array.length dq.dq_buf;
+      dq.dq_len <- dq.dq_len - 1;
+      task
+    end
+  in
+  Mutex.unlock dq.dq_mutex;
+  r
+
+(* ---- the pool ---------------------------------------------------------- *)
+
 type t = {
-  size : int;
-  mutex : Mutex.t;
+  mutable visible : int;
+      (* the size callers asked for — what [size] reports and what the
+         sequential-fallback check consults.  [shared] may hand out a
+         pool whose spawned domains outnumber the current request; its
+         chunking heuristics must see the requested parallelism. *)
+  actual : int; (* spawned parallelism: worker domains + the caller *)
+  kind : kind;
+  mutex : Mutex.t; (* guards sleep/wake and every run's completion count *)
   work_ready : Condition.t;
-  queue : (unit -> unit) Queue.t;
+  queue : (unit -> unit) Queue.t; (* Single_queue work *)
+  deques : deque array; (* Work_stealing work, one per domain *)
+  enqueued : int Atomic.t; (* Work_stealing wake-up predicate *)
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
 }
 
-let size t = t.size
+let size t = t.visible
+let pool_kind t = t.kind
 
-let rec worker_loop t =
+(* ---- Single_queue worker ----------------------------------------------- *)
+
+let rec sq_worker_loop t =
   Mutex.lock t.mutex;
   let rec next () =
     if t.stopping then None
@@ -38,17 +153,67 @@ let rec worker_loop t =
   | Some task ->
     Mutex.unlock t.mutex;
     task ();
-    worker_loop t
+    sq_worker_loop t
 
-let create ~domains =
+(* ---- Work_stealing worker ---------------------------------------------- *)
+
+(* Take one task as domain [me]: own deque LIFO first, then steal FIFO
+   round-robin from the victims.  The [enqueued] decrement happens
+   after the take, so the count may transiently exceed the available
+   tasks — harmless, the sleep loop re-scans. *)
+let try_run_one t me =
+  let run task =
+    Atomic.decr t.enqueued;
+    task ();
+    true
+  in
+  match deque_pop t.deques.(me) with
+  | Some task -> run task
+  | None ->
+    let n = Array.length t.deques in
+    let rec scan k =
+      if k >= n then false
+      else
+        match deque_steal t.deques.((me + k) mod n) with
+        | Some task -> run task
+        | None -> scan (k + 1)
+    in
+    scan 1
+
+let rec ws_worker_loop t me =
+  if try_run_one t me then ws_worker_loop t me
+  else begin
+    Mutex.lock t.mutex;
+    (* Submitters broadcast while holding the mutex after raising
+       [enqueued], so re-checking the count here closes the lost
+       wake-up window. *)
+    if (not t.stopping) && Atomic.get t.enqueued = 0 then
+      Condition.wait t.work_ready t.mutex;
+    let stop = t.stopping in
+    Mutex.unlock t.mutex;
+    if not stop then ws_worker_loop t me
+  end
+
+(* ---- lifecycle --------------------------------------------------------- *)
+
+let create ?(kind = Work_stealing) ~domains () =
   if domains < 1 || domains > 64 then
     invalid_arg
       (Printf.sprintf "Domain_pool.create: domains must be in [1, 64] (got %d)" domains);
   let t =
-    { size = domains; mutex = Mutex.create (); work_ready = Condition.create ();
-      queue = Queue.create (); stopping = false; workers = [] }
+    { visible = domains; actual = domains; kind; mutex = Mutex.create ();
+      work_ready = Condition.create (); queue = Queue.create ();
+      deques =
+        (match kind with
+        | Work_stealing -> Array.init domains (fun _ -> deque_create ())
+        | Single_queue -> [||]);
+      enqueued = Atomic.make 0; stopping = false; workers = [] }
   in
-  t.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.workers <-
+    List.init (domains - 1) (fun i ->
+        match kind with
+        | Work_stealing -> Domain.spawn (fun () -> ws_worker_loop t (i + 1))
+        | Single_queue -> Domain.spawn (fun () -> sq_worker_loop t));
   t
 
 let shutdown t =
@@ -60,13 +225,15 @@ let shutdown t =
   Mutex.unlock t.mutex;
   List.iter Domain.join ws
 
+(* ---- run --------------------------------------------------------------- *)
+
 (* One result slot per task; exceptions are captured and the first (in
    task order) re-raised by the caller once everything settled. *)
 let run t tasks =
   match tasks with
   | [] -> []
   | [ f ] -> [ f () ]
-  | tasks when t.size <= 1 || t.stopping -> List.map (fun f -> f ()) tasks
+  | tasks when t.visible <= 1 || t.stopping -> List.map (fun f -> f ()) tasks
   | tasks ->
     let tasks = Array.of_list tasks in
     let n = Array.length tasks in
@@ -81,25 +248,52 @@ let run t tasks =
       if !pending = 0 then Condition.broadcast all_done;
       Mutex.unlock t.mutex
     in
-    Mutex.lock t.mutex;
-    Array.iteri (fun i f -> Queue.push (wrap i f) t.queue) tasks;
-    Condition.broadcast t.work_ready;
-    (* The calling domain helps drain the queue, then waits for the
-       tasks other domains still have in flight. *)
-    let rec help () =
-      match Queue.take_opt t.queue with
-      | Some task ->
-        Mutex.unlock t.mutex;
-        task ();
-        Mutex.lock t.mutex;
-        help ()
-      | None -> ()
-    in
-    help ();
-    while !pending > 0 do
-      Condition.wait all_done t.mutex
-    done;
-    Mutex.unlock t.mutex;
+    (match t.kind with
+    | Single_queue ->
+      Mutex.lock t.mutex;
+      Array.iteri (fun i f -> Queue.push (wrap i f) t.queue) tasks;
+      Condition.broadcast t.work_ready;
+      (* The calling domain helps drain the queue, then waits for the
+         tasks other domains still have in flight. *)
+      let rec help () =
+        match Queue.take_opt t.queue with
+        | Some task ->
+          Mutex.unlock t.mutex;
+          task ();
+          Mutex.lock t.mutex;
+          help ()
+        | None -> ()
+      in
+      help ();
+      while !pending > 0 do
+        Condition.wait all_done t.mutex
+      done;
+      Mutex.unlock t.mutex
+    | Work_stealing ->
+      (* Batched submission: contiguous task slices, one deque lock
+         each.  The caller (domain 0) gets the first slice and drains
+         it LIFO before stealing from the workers' slices. *)
+      let d = Array.length t.deques in
+      let per = (n + d - 1) / d in
+      for j = 0 to d - 1 do
+        let lo = j * per in
+        let hi = min n (lo + per) in
+        if lo < hi then
+          deque_push_batch t.deques.(j)
+            (List.init (hi - lo) (fun k -> wrap (lo + k) tasks.(lo + k)))
+      done;
+      Atomic.fetch_and_add t.enqueued n |> ignore;
+      Mutex.lock t.mutex;
+      Condition.broadcast t.work_ready;
+      Mutex.unlock t.mutex;
+      (* Help: run everything still enqueued, then wait for tasks in
+         flight on other domains. *)
+      while try_run_one t 0 do () done;
+      Mutex.lock t.mutex;
+      while !pending > 0 do
+        Condition.wait all_done t.mutex
+      done;
+      Mutex.unlock t.mutex);
     Array.to_list
       (Array.map
          (function
@@ -112,12 +306,17 @@ let run t tasks =
 
 let shared_pool : t option ref = ref None
 
-let shared ~domains =
+let shared ?(kind = Work_stealing) ~domains () =
   let domains = max 1 domains in
   match !shared_pool with
-  | Some p when p.size >= domains && not p.stopping -> p
+  | Some p when p.actual >= domains && p.kind = kind && not p.stopping ->
+    (* Reuse the spawned domains, but report (and chunk for) the
+       parallelism this caller asked for — a smaller request must not
+       silently inherit the larger pool's size. *)
+    p.visible <- domains;
+    p
   | prev ->
     Option.iter shutdown prev;
-    let p = create ~domains in
+    let p = create ~kind ~domains () in
     shared_pool := Some p;
     p

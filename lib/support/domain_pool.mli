@@ -14,35 +14,61 @@
     spawned and no synchronization — the sequential path stays the
     reference semantics.  Results are always returned in task order,
     so a correct task set produces byte-identical results at every
-    pool size. *)
+    pool size, every {!kind}, and every schedule. *)
 
 type t
 
-(** [create ~domains] makes a pool of total parallelism [domains]: the
-    calling domain participates in [run], so [domains - 1] worker
-    domains are spawned.  [domains <= 1] spawns nothing.
-    @raise Invalid_argument if [domains < 1] or [domains > 64]. *)
-val create : domains:int -> t
+(** The scheduler behind [run].  {!Work_stealing} (the default) keeps
+    one chunked deque per domain: submission batches contiguous task
+    slices onto the deques (one lock per deque), owners pop LIFO,
+    idle domains steal FIFO from the others.  {!Single_queue} is the
+    original single mutex/condition work queue, retained as the
+    differential-testing oracle.  Both kinds present the identical
+    [run] contract. *)
+type kind = Work_stealing | Single_queue
 
-(** Total parallelism of the pool (including the calling domain). *)
+val kind_to_string : kind -> string
+(** ["work-stealing"] / ["legacy"]. *)
+
+val kind_of_string : string -> kind option
+(** Accepts ["work-stealing"], ["ws"], ["legacy"], ["single-queue"]
+    (case-insensitive). *)
+
+(** [create ?kind ~domains ()] makes a pool of total parallelism
+    [domains]: the calling domain participates in [run], so
+    [domains - 1] worker domains are spawned.  [domains <= 1] spawns
+    nothing.
+    @raise Invalid_argument if [domains < 1] or [domains > 64]. *)
+val create : ?kind:kind -> domains:int -> unit -> t
+
+(** Parallelism of the pool as requested by its creator (or the last
+    {!shared} caller) — the number [run] fans out to and the number
+    callers should size their chunking heuristics by. *)
 val size : t -> int
+
+val pool_kind : t -> kind
+(** The scheduler kind this pool was created with. *)
 
 (** [run t tasks] executes every task, using the pool's worker domains
     and the calling domain, and returns the results in task order.
-    Blocks until all tasks finish.  If a task raises, the first raised
-    exception (in task order) is re-raised after all tasks have
-    settled.  After [shutdown] the tasks still run, sequentially in
-    the calling domain. *)
+    Blocks until all tasks finish.  If a task raises, all tasks still
+    run and settle, and the first raised exception {e in task order}
+    (not completion order) is re-raised.  After [shutdown] the tasks
+    still run, sequentially in the calling domain. *)
 val run : t -> (unit -> 'a) list -> 'a list
 
 (** Stop and join the worker domains.  Idempotent.  Subsequent [run]s
     fall back to sequential execution. *)
 val shutdown : t -> unit
 
-(** [shared ~domains] returns a process-wide pool of at least
-    [domains] total parallelism, creating or growing it on demand (the
-    previous smaller pool is shut down).  Repeated executors share
-    this pool instead of spawning domains per run — OCaml caps live
-    domains at a small fixed number, so per-invocation pools would
-    exhaust it. *)
-val shared : domains:int -> t
+(** [shared ?kind ~domains ()] returns a process-wide pool of at least
+    [domains] total parallelism and the given kind, creating or
+    replacing it on demand (a previous smaller or differently-kinded
+    pool is shut down).  Repeated executors share this pool instead of
+    spawning domains per run — OCaml caps live domains at a small
+    fixed number, so per-invocation pools would exhaust it.  The
+    returned pool {e reports} the requested [domains] through {!size}
+    even when the underlying pool has more spawned domains, so
+    callers' chunking heuristics and sequential-fallback checks see
+    the parallelism they asked for. *)
+val shared : ?kind:kind -> domains:int -> unit -> t

@@ -26,13 +26,17 @@ open Privateer_ir
 open Privateer_machine
 open Privateer_runtime
 module Domain_pool = Privateer_support.Domain_pool
+module Host_controller = Privateer_parallel.Host_controller
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
 (* The pool under test.  [shared] so a PRIVATEER_HOST_DOMAINS >= 3 run
-   reuses the executor's pool rather than replacing it. *)
-let pool = lazy (Domain_pool.shared ~domains:3)
+   reuses the executor's pool rather than replacing it; resolved per
+   use (not once) because the pipeline-identity cells below
+   deliberately swap the shared pool's scheduler kind, which replaces
+   the shared instance. *)
+let pool () = Domain_pool.shared ~domains:3 ()
 
 (* ---- random shadow states ---------------------------------------------- *)
 
@@ -98,7 +102,7 @@ let contribution_equal (a : Checkpoint.contribution) (b : Checkpoint.contributio
 let prop_parallel_extraction_equals_sequential workerses =
   let reqs = reqs_of ~interval_start:0 workerses in
   let seq = Checkpoint.extract ~interval_start:0 reqs in
-  let par = Checkpoint.extract ~pool:(Lazy.force pool) ~interval_start:0 reqs in
+  let par = Checkpoint.extract ~pool:(pool ()) ~interval_start:0 reqs in
   List.length seq = List.length par && List.for_all2 contribution_equal seq par
 
 (* ---- early-exit scan vs byte-wise oracle -------------------------------- *)
@@ -237,7 +241,7 @@ let prop_sharded_merge_matches_oracle workerses =
   let oracle_ov, oracle_v = oracle_merge contribs in
   let cells =
     List.concat_map
-      (fun shards -> [ (shards, None); (shards, Some (Lazy.force pool)) ])
+      (fun shards -> [ (shards, None); (shards, Some (pool ())) ])
       [ 1; 4; 7 ]
   in
   let ops = ref None in
@@ -347,9 +351,9 @@ let test_violation_reports_smallest_addr () =
       | _ -> Alcotest.fail (Printf.sprintf "expected a phase-2 violation (%s)" label))
     [ (1, None, "1 shard, seq"); (4, None, "4 shards, seq");
       (7, None, "7 shards, seq");
-      (1, Some (Lazy.force pool), "1 shard, pool");
-      (4, Some (Lazy.force pool), "4 shards, pool");
-      (7, Some (Lazy.force pool), "7 shards, pool") ]
+      (1, Some (pool ()), "1 shard, pool");
+      (4, Some (pool ()), "4 shards, pool");
+      (7, Some (pool ()), "7 shards, pool") ]
 
 (* ---- exact live-in counts ------------------------------------------------ *)
 
@@ -430,7 +434,7 @@ let prop_pooled_reset_matches_plain ops =
   let plain_m, plain_f = Test_props.Run_shadow.run ops in
   let page_pool = fresh_page_pool () in
   let pooled_m, pooled_f =
-    Test_props.Run_shadow.run ~pool:(Lazy.force pool) ~page_pool ops
+    Test_props.Run_shadow.run ~pool:(pool ()) ~page_pool ops
   in
   (* Pool-recycled pages must be indistinguishable from rewritten
      ones; a disabled pool (cap 0) must behave like no pool at all. *)
@@ -518,21 +522,23 @@ let test_merge_state_isolation () =
 (* ---- full-pipeline equality --------------------------------------------- *)
 
 (* The whole host-tuning matrix — host_domains {1, 3} x pool cap
-   {0, auto, unbounded} x merge shards {1, 4, 7} (sampled) — must be
-   byte-identical: output, result, simulated cycles, every stats
-   counter. *)
+   {0, auto, unbounded} x merge shards {1, 4, 7} x pool kind
+   {work-stealing, legacy} x controller mode {auto, always, never}
+   (sampled; every mode x kind pair appears) — must be byte-identical:
+   output, result, simulated cycles, every stats counter. *)
 let prop_pipeline_identical_across_host_domains tmpls =
   let src = Test_props.program_of_templates tmpls in
   let program = Privateer.Pipeline.parse src in
   let tr, _ = Privateer.Pipeline.compile program in
-  let run (host_domains, pool_cap, merge_shards) =
+  let run (host_domains, pool_cap, merge_shards, pool_kind, host_controller) =
     let config =
       { Privateer_parallel.Executor.default_config with workers = 5; host_domains;
-        pool_cap; merge_shards }
+        pool_cap; merge_shards; pool_kind; host_controller }
     in
     Privateer.Pipeline.run_parallel ~config tr
   in
-  let a = run (1, 0, 1) in
+  let ws = Domain_pool.Work_stealing and sq = Domain_pool.Single_queue in
+  let a = run (1, 0, 1, ws, Host_controller.Never) in
   List.for_all
     (fun cell ->
       let b = run cell in
@@ -543,41 +549,143 @@ let prop_pipeline_identical_across_host_domains tmpls =
       && a.stats.wall_cycles = b.stats.wall_cycles
       && a.stats.private_bytes_read = b.stats.private_bytes_read
       && a.stats.private_bytes_written = b.stats.private_bytes_written)
-    [ (1, Privateer_runtime.Page_pool.unbounded, 8); (3, 0, 1);
-      (3, Privateer_runtime.Page_pool.unbounded, 4);
-      (3, Privateer_runtime.Page_pool.auto, 7) ]
+    [ (1, Privateer_runtime.Page_pool.unbounded, 8, ws, Host_controller.Auto);
+      (3, 0, 1, ws, Host_controller.Auto);
+      (3, 0, 1, sq, Host_controller.Auto);
+      (3, Privateer_runtime.Page_pool.unbounded, 4, ws, Host_controller.Always);
+      (3, Privateer_runtime.Page_pool.unbounded, 4, sq, Host_controller.Always);
+      (3, Privateer_runtime.Page_pool.auto, 7, ws, Host_controller.Never);
+      (3, Privateer_runtime.Page_pool.auto, 7, sq, Host_controller.Never) ]
 
 (* ---- the pool itself ---------------------------------------------------- *)
 
+(* Run [f] against both scheduler kinds: the suite's shared
+   work-stealing pool, and a private legacy (single-queue) pool that is
+   shut down afterwards.  Both kinds share [run]'s result/exception
+   contract, so every pool test must pass unchanged on each. *)
+let with_both_kinds f =
+  f (pool ()) "work-stealing";
+  let legacy = Domain_pool.create ~kind:Domain_pool.Single_queue ~domains:3 () in
+  Fun.protect ~finally:(fun () -> Domain_pool.shutdown legacy)
+    (fun () -> f legacy "legacy")
+
 let test_pool_ordering () =
-  let p = Lazy.force pool in
-  let results =
-    Domain_pool.run p (List.init 40 (fun i () -> i * i))
-  in
-  check "results in task order" true (results = List.init 40 (fun i -> i * i))
+  with_both_kinds (fun p label ->
+      let results = Domain_pool.run p (List.init 40 (fun i () -> i * i)) in
+      check
+        (Printf.sprintf "results in task order (%s)" label)
+        true
+        (results = List.init 40 (fun i -> i * i)))
 
 let test_pool_exception () =
-  let p = Lazy.force pool in
-  check "task exception re-raised" true
-    (try
-       ignore (Domain_pool.run p [ (fun () -> 1); (fun () -> failwith "boom") ]);
-       false
-     with Failure msg -> msg = "boom");
-  (* The pool survives a failing run. *)
-  check "pool reusable after failure" true
-    (Domain_pool.run p [ (fun () -> 7); (fun () -> 8) ] = [ 7; 8 ])
+  with_both_kinds (fun p label ->
+      check
+        (Printf.sprintf "task exception re-raised (%s)" label)
+        true
+        (try
+           ignore (Domain_pool.run p [ (fun () -> 1); (fun () -> failwith "boom") ]);
+           false
+         with Failure msg -> msg = "boom");
+      (* The pool survives a failing run. *)
+      check
+        (Printf.sprintf "pool reusable after failure (%s)" label)
+        true
+        (Domain_pool.run p [ (fun () -> 7); (fun () -> 8) ] = [ 7; 8 ]))
+
+exception Boom of int
+
+(* Regression for the exception contract: a task raising mid-run must
+   not stop the remaining tasks, and the caller must see the first
+   exception in TASK order (not completion order — under work
+   stealing a later task's exception can settle first). *)
+let test_pool_exception_order () =
+  with_both_kinds (fun p label ->
+      let ran = Atomic.make 0 in
+      let task i () =
+        Atomic.incr ran;
+        if i = 1 || i = 3 then raise (Boom i) else i
+      in
+      (match Domain_pool.run p (List.init 5 task) with
+      | _ -> Alcotest.fail (label ^ ": expected Boom")
+      | exception Boom i ->
+        check_int (Printf.sprintf "first task-order exception (%s)" label) 1 i);
+      check_int (Printf.sprintf "all five tasks still ran (%s)" label) 5
+        (Atomic.get ran);
+      check
+        (Printf.sprintf "pool reusable after mixed failures (%s)" label)
+        true
+        (Domain_pool.run p [ (fun () -> 7); (fun () -> 8) ] = [ 7; 8 ]))
 
 let test_pool_shutdown_fallback () =
-  let p = Domain_pool.create ~domains:2 in
+  let p = Domain_pool.create ~domains:2 () in
   Domain_pool.shutdown p;
   check "sequential fallback after shutdown" true
     (Domain_pool.run p (List.init 5 (fun i () -> i + 1)) = [ 1; 2; 3; 4; 5 ])
 
 let test_pool_size_validation () =
   check "rejects 0 domains" true
-    (try ignore (Domain_pool.create ~domains:0); false with Invalid_argument _ -> true);
+    (try ignore (Domain_pool.create ~domains:0 ()); false with Invalid_argument _ -> true);
   check "rejects 65 domains" true
-    (try ignore (Domain_pool.create ~domains:65); false with Invalid_argument _ -> true)
+    (try ignore (Domain_pool.create ~domains:65 ()); false with Invalid_argument _ -> true)
+
+(* Regression: [shared] must report the REQUESTED size, not the
+   spawned one — a smaller request reusing a larger pool's domains
+   used to inherit the larger size, inflating every chunking
+   heuristic. *)
+let test_shared_reports_requested_size () =
+  let p3 = pool () in
+  check_int "shared 3 reports 3" 3 (Domain_pool.size p3);
+  let p2 = Domain_pool.shared ~domains:2 () in
+  check "smaller request reuses the spawned domains" true (p2 == p3);
+  check_int "smaller request reports the requested size" 2 (Domain_pool.size p2);
+  let p3' = Domain_pool.shared ~domains:3 () in
+  check_int "re-request restores the size" 3 (Domain_pool.size p3')
+
+(* ---- the host controller ------------------------------------------------- *)
+
+let test_controller_modes () =
+  let open Host_controller in
+  let units = 1_000_000 in
+  let never = create ~host_cores:8 ~mode:Never ~pool_size:4 () in
+  check "never: sequential" false (decide never Merge ~units).par;
+  check "never: no pool wanted" false (may_parallelize never);
+  let always = create ~host_cores:1 ~mode:Always ~pool_size:4 () in
+  check "always: parallel whenever a pool exists" true (decide always Merge ~units:1).par;
+  check "always: pool wanted" true (may_parallelize always);
+  let always1 = create ~host_cores:8 ~mode:Always ~pool_size:1 () in
+  check "always: sequential without a pool" false (decide always1 Merge ~units).par;
+  let auto1core = create ~host_cores:1 ~mode:Auto ~pool_size:4 () in
+  check "auto: sequential on a single core" false (decide auto1core Merge ~units).par;
+  check "auto on one core: no pool wanted" false (may_parallelize auto1core);
+  let auto = create ~host_cores:8 ~mode:Auto ~pool_size:4 () in
+  check "auto: tiny jobs stay sequential" false (decide auto Merge ~units:10).par;
+  check "auto multicore: pool wanted" true (may_parallelize auto)
+
+let test_controller_learning () =
+  let open Host_controller in
+  let units = 1_000_000 in
+  let hc = create ~host_cores:8 ~mode:Auto ~pool_size:4 () in
+  (* Unknown modes are probed before any comparison: parallel first,
+     then sequential. *)
+  check "probe parallel first" true (decide hc Merge ~units).par;
+  note hc Merge ~units ~par:true ~ns:1e7;
+  check "probe sequential second" false (decide hc Merge ~units).par;
+  note hc Merge ~units ~par:false ~ns:1e6;
+  (* Sequential measured 10x cheaper per unit -> stays sequential. *)
+  check "learned: sequential wins" false (decide hc Merge ~units).par;
+  (* The winner is per stage: an unrelated stage still probes. *)
+  check "stages learn independently" true (decide hc Reset ~units).par;
+  (* A controller that observed parallel winning decides parallel. *)
+  let hc2 = create ~host_cores:8 ~mode:Auto ~pool_size:4 () in
+  note hc2 Merge ~units ~par:true ~ns:1e6;
+  note hc2 Merge ~units ~par:false ~ns:1e7;
+  check "learned: parallel wins" true (decide hc2 Merge ~units).par;
+  (* Within the hysteresis margin (parallel < 10% faster), sequential
+     keeps the tie. *)
+  let hc3 = create ~host_cores:8 ~mode:Auto ~pool_size:4 () in
+  note hc3 Merge ~units ~par:true ~ns:9.5e6;
+  note hc3 Merge ~units ~par:false ~ns:1e7;
+  check "hysteresis keeps near-ties sequential" false (decide hc3 Merge ~units).par
 
 let suite =
   List.map QCheck_alcotest.to_alcotest
@@ -612,5 +720,13 @@ let suite =
         test_live_in_count_exact;
       Alcotest.test_case "pool: task ordering" `Quick test_pool_ordering;
       Alcotest.test_case "pool: exception propagation" `Quick test_pool_exception;
+      Alcotest.test_case "pool: first task-order exception wins" `Quick
+        test_pool_exception_order;
       Alcotest.test_case "pool: shutdown fallback" `Quick test_pool_shutdown_fallback;
-      Alcotest.test_case "pool: size validation" `Quick test_pool_size_validation ]
+      Alcotest.test_case "pool: size validation" `Quick test_pool_size_validation;
+      Alcotest.test_case "pool: shared reports requested size" `Quick
+        test_shared_reports_requested_size;
+      Alcotest.test_case "controller: forced modes and static gates" `Quick
+        test_controller_modes;
+      Alcotest.test_case "controller: probes, learns, hysteresis" `Quick
+        test_controller_learning ]
