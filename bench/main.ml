@@ -432,7 +432,7 @@ let () =
     List.iter (fun (_, f) -> f ()) experiments;
     print_newline ();
     print_endline
-      "(wall-clock experiments: dune exec bench/main.exe -- micro | overhead | host_parallel | interval_reset | merge | controller)"
+      "(wall-clock experiments: dune exec bench/main.exe -- micro | overhead | host_parallel | interval_reset | merge | controller | server)"
   | _ :: [ "micro" ] -> Micro.run ()
   | _ :: names ->
     List.iter
@@ -445,9 +445,10 @@ let () =
         | None when name = "interval_reset" -> Interval_reset.run ()
         | None when name = "merge" -> Merge.run ()
         | None when name = "controller" -> Controller.run ()
+        | None when name = "server" -> Server.run ()
         | None ->
           Printf.eprintf
-            "unknown experiment %s (have: %s, micro, overhead, host_parallel, interval_reset, merge, controller)\n"
+            "unknown experiment %s (have: %s, micro, overhead, host_parallel, interval_reset, merge, controller, server)\n"
             name
             (String.concat ", " (List.map fst experiments));
           exit 1)

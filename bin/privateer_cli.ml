@@ -6,6 +6,7 @@
      privateer run <workload> [-w N] [-i ref] [--inject RATE] [--checkpoint K]
      privateer compare <workload> [-w N]
      privateer file <path.cm> [-w N]   -- full pipeline on a Cmini file
+     privateer serve <manifest> [--max-inflight N] [--queue-cap N]
 *)
 
 open Cmdliner
@@ -139,9 +140,25 @@ let dump_cmd =
   Cmd.v (Cmd.info "dump" ~doc:"Pretty-print a workload's IR")
     Term.(const run $ wl_arg $ transformed)
 
-(* Machine-readable report: whole-run numbers, every stats counter,
-   the Figure 8 breakdown, and the per-loop engine-health table. *)
-let json_report ~seq ~(par : Pipeline.par_run) ~fallbacks =
+(* The engine configuration that shaped a run, so bench/CI JSON is
+   self-describing instead of inferred from the invocation. *)
+let config_json (cfg : RC.t) =
+  let open Privateer_support.Json in
+  Obj
+    [ ("workers", Int cfg.workers); ("host_domains", Int cfg.host_domains);
+      ("merge_shards", Int cfg.merge_shards);
+      ( "pool_kind",
+        String (Privateer_support.Domain_pool.kind_to_string cfg.pool_kind) );
+      ( "host_controller",
+        String (Privateer_parallel.Host_controller.mode_to_string cfg.host_controller)
+      );
+      ("schedule", String (Privateer_parallel.Schedule.to_string cfg.schedule));
+      ("pool_cap", Int cfg.pool_cap) ]
+
+(* Machine-readable report: the configuration, whole-run numbers,
+   every stats counter, the Figure 8 breakdown, and the per-loop
+   engine-health table. *)
+let json_report ~config:cfg ~seq ~(par : Pipeline.par_run) ~fallbacks =
   let open Privateer_support.Json in
   let stats = par.stats in
   let b = Privateer_runtime.Stats.breakdown stats in
@@ -156,7 +173,8 @@ let json_report ~seq ~(par : Pipeline.par_run) ~fallbacks =
       (Pipeline.loop_report par)
   in
   Obj
-    [ ("sequential_cycles", Int seq.Pipeline.seq_cycles);
+    [ ("config", config_json cfg);
+      ("sequential_cycles", Int seq.Pipeline.seq_cycles);
       ("parallel_cycles", Int par.par_cycles);
       ( "speedup",
         Float (float_of_int seq.Pipeline.seq_cycles /. float_of_int par.par_cycles) );
@@ -227,14 +245,14 @@ let run_cmd =
     let program = Workload.program wl in
     let tr, _ = Pipeline.compile ~setup:(Workload.setup wl Train) program in
     let seq = Pipeline.run_sequential ~setup:(Workload.setup wl input) program in
+    let cfg = config ~inject bindings in
     let par =
-      Pipeline.run_parallel ~setup:(Workload.setup wl input)
-        ~config:(config ~inject bindings) tr
+      Pipeline.run_parallel ~setup:(Workload.setup wl input) ~config:cfg tr
     in
     if json then
       print_endline
         (Privateer_support.Json.to_string
-           (json_report ~seq ~par ~fallbacks:par.fallbacks))
+           (json_report ~config:cfg ~seq ~par ~fallbacks:par.fallbacks))
     else report_run ~seq ~par ~fallbacks:par.fallbacks
   in
   Cmd.v (Cmd.info "run" ~doc:"Profile, privatize and run a workload in parallel")
@@ -281,9 +299,47 @@ let file_cmd =
   Cmd.v (Cmd.info "file" ~doc:"Run the full pipeline on a Cmini source file")
     Term.(const run $ path $ bindings_term)
 
+(* privateer serve <manifest>: run every job in the manifest through
+   the job server — many concurrent speculative pipelines multiplexed
+   over one shared domain pool — and emit the aggregate JSON report
+   (throughput, latency percentiles, per-job results).  Exits 3 when
+   any job failed, so smoke tests can assert success without parsing. *)
+let serve_cmd =
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"MANIFEST")
+  in
+  let run path bindings =
+    let base = config bindings in
+    let specs =
+      try Privateer_server.Jobs_manifest.load ~base path
+      with Failure msg ->
+        Printf.eprintf "privateer serve: %s: %s\n" path msg;
+        exit 125
+    in
+    let server = Privateer_server.Job_server.run_jobs ~config:base specs in
+    print_endline
+      (Privateer_support.Json.to_string (Privateer_server.Job_server.report server));
+    let failed =
+      List.exists
+        (fun j ->
+          match Privateer_server.Job_server.state server j with
+          | Privateer_server.Job_server.Failed _ -> true
+          | _ -> false)
+        (Privateer_server.Job_server.jobs server)
+    in
+    if failed then exit 3
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a jobs manifest through the job server (concurrent speculative \
+          pipelines over one shared domain pool) and emit the aggregate JSON \
+          report")
+    Term.(const run $ path $ bindings_term)
+
 let () =
   let doc = "Privateer: speculative separation for privatization and reductions" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "privateer" ~doc)
-          [ list_cmd; plan_cmd; dump_cmd; run_cmd; compare_cmd; file_cmd ]))
+          [ list_cmd; plan_cmd; dump_cmd; run_cmd; compare_cmd; file_cmd; serve_cmd ]))

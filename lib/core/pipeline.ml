@@ -63,10 +63,10 @@ type par_run = {
   fallbacks : int;
 }
 
-let run_parallel ?(setup = no_setup) ?(config = Executor.default_config)
+let run_parallel ?(setup = no_setup) ?(config = Executor.default_config) ?pool
     (tr : Transform.result) =
   let st = Interp.create ~cost:config.Executor.costs.base tr.program in
-  let ex = Executor.create tr.manifest config in
+  let ex = Executor.create ?pool tr.manifest config in
   ex.stats.separation_checks_elided <- Manifest.elided_check_count tr.manifest;
   Executor.install ex st;
   setup st;

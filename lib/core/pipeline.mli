@@ -75,10 +75,17 @@ type par_run = {
     simulation: for any setting, [par_output], [par_result],
     [par_cycles] and every [stats] counter are byte-identical to the
     sequential ([host_domains = 1], [pool_cap = 0]) run — only the
-    host wall-clock changes. *)
+    host wall-clock changes.
+
+    [pool] supplies the host domain pool explicitly, bypassing the
+    process-wide {!Privateer_support.Domain_pool.shared} registry; the
+    job server uses this so concurrent pipelines share one pool
+    without one run's [shared] call shutting down a pool in use by
+    another. *)
 val run_parallel :
   ?setup:setup ->
   ?config:Privateer_parallel.Runtime_config.t ->
+  ?pool:Privateer_support.Domain_pool.t ->
   Privateer_transform.Transform.result ->
   par_run
 

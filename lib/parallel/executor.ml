@@ -39,6 +39,8 @@ type config = Runtime_config.t = {
   inject : (int -> bool) option;
   validate : bool;
   serial_commit : bool;
+  max_inflight : int;
+  queue_cap : int;
 }
 
 (* Deprecated shims — use [Runtime_config] directly. *)
@@ -63,7 +65,7 @@ type t = {
       (* loops whose speculation the throttle has suspended *)
 }
 
-let create manifest config =
+let create ?pool manifest config =
   Runtime_config.validate config;
   let stats = Stats.create () in
   stats.workers <- config.workers;
@@ -73,13 +75,20 @@ let create manifest config =
   in
   (* Spawn the pool only when the controller could ever use it: idle
      domains tax every minor collection, so [Never] (and single-core
-     [Auto]) run poolless — host-only, the simulation cannot tell. *)
+     [Auto]) run poolless — host-only, the simulation cannot tell.
+     A caller-provided [?pool] (the job server) bypasses the shared
+     registry entirely: concurrent executors must never replace — and
+     thereby shut down — a pool their neighbours are running on. *)
   let pool =
-    if config.host_domains > 1 && Host_controller.may_parallelize controller then
-      Some
-        (Privateer_support.Domain_pool.shared ~kind:config.pool_kind
-           ~domains:config.host_domains ())
-    else None
+    match pool with
+    | Some _ -> pool
+    | None ->
+      if config.host_domains > 1 && Host_controller.may_parallelize controller
+      then
+        Some
+          (Privateer_support.Domain_pool.shared ~kind:config.pool_kind
+             ~domains:config.host_domains ())
+      else None
   in
   let page_pool =
     (* pool_cap 0 disables pooling; any other value (fixed or

@@ -57,6 +57,16 @@ type t = {
          serially merges every contributed page (ablation; the paper
          notes STMLite's central commit "can quickly become an
          execution bottleneck"). *)
+  max_inflight : int;
+      (* job server: maximum number of jobs running concurrently over
+         the shared domain pool.  The server additionally clamps this
+         to the host core count (1 core -> sequential jobs).
+         Host-only: per-job results are byte-identical at any
+         setting. *)
+  queue_cap : int;
+      (* job server: admission-control bound on the queued-but-not-
+         running backlog; a full queue blocks (or rejects, for
+         try_submit) further submissions.  0 means unbounded. *)
 }
 
 (* ---- environment defaults -------------------------------------------- *)
@@ -121,7 +131,9 @@ let default =
     host_controller = default_host_controller; schedule = Schedule.Cyclic;
     checkpoint_period = None; adaptive_period = false; throttle = None;
     pool_cap = default_pool_cap; costs = Cost_model.default; inject = None;
-    validate = true; serial_commit = false }
+    validate = true; serial_commit = false;
+    max_inflight = env_int ~lo:1 ~hi:64 ~default:4 "PRIVATEER_MAX_INFLIGHT";
+    queue_cap = env_int ~lo:0 ~hi:max_int ~default:0 "PRIVATEER_QUEUE_CAP" }
 
 (* ---- validation ------------------------------------------------------- *)
 
@@ -151,13 +163,21 @@ let validate config =
       (Printf.sprintf
          "Runtime_config: pool_cap must be >= 0 or Page_pool.auto (got %d)"
          config.pool_cap);
+  if config.max_inflight < 1 || config.max_inflight > 64 then
+    invalid_arg
+      (Printf.sprintf "Runtime_config: max_inflight must be in [1, 64] (got %d)"
+         config.max_inflight);
+  if config.queue_cap < 0 then
+    invalid_arg
+      (Printf.sprintf "Runtime_config: queue_cap must be >= 0 (got %d)"
+         config.queue_cap);
   Schedule.validate config.schedule
 
 (* ---- builder ---------------------------------------------------------- *)
 
 let make ?workers ?host_domains ?merge_shards ?pool_kind ?host_controller
     ?schedule ?checkpoint_period ?adaptive_period ?throttle ?pool_cap ?costs
-    ?inject ?validate:validate_opt ?serial_commit () =
+    ?inject ?validate:validate_opt ?serial_commit ?max_inflight ?queue_cap () =
   let opt v d = Option.value v ~default:d in
   let config =
     { workers = opt workers default.workers;
@@ -172,7 +192,9 @@ let make ?workers ?host_domains ?merge_shards ?pool_kind ?host_controller
       pool_cap = opt pool_cap default.pool_cap; costs = opt costs default.costs;
       inject = opt inject default.inject;
       validate = opt validate_opt default.validate;
-      serial_commit = opt serial_commit default.serial_commit }
+      serial_commit = opt serial_commit default.serial_commit;
+      max_inflight = opt max_inflight default.max_inflight;
+      queue_cap = opt queue_cap default.queue_cap }
   in
   validate config;
   config
@@ -303,7 +325,23 @@ let cli_bindings =
             Error
               (Printf.sprintf
                  "shadow-pool-cap: expected a non-negative integer or 'auto', got %S"
-                 s)) }
+                 s)) };
+    { b_flags = [ "max-inflight" ]; b_docv = "N";
+      b_doc =
+        "Job server: run at most N jobs concurrently over the shared domain \
+         pool (clamped to the host core count; default \
+         \\$(b,PRIVATEER_MAX_INFLIGHT) or 4).  Host-only: per-job results are \
+         identical at any setting.";
+      b_flag_like = false;
+      b_apply =
+        int_field "max-inflight" (fun t max_inflight -> { t with max_inflight }) };
+    { b_flags = [ "queue-cap" ]; b_docv = "N";
+      b_doc =
+        "Job server: bound the queued-but-not-running backlog at N jobs; a full \
+         queue applies backpressure to submitters (0: unbounded; default \
+         \\$(b,PRIVATEER_QUEUE_CAP) or 0).";
+      b_flag_like = false;
+      b_apply = int_field "queue-cap" (fun t queue_cap -> { t with queue_cap }) }
   ]
 
 (* Fold a list of (binding, passed value) pairs over [base]; unpassed

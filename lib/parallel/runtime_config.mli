@@ -65,6 +65,17 @@ type t = {
   validate : bool;  (** [false]: disable all validation (ablation) *)
   serial_commit : bool;
       (** model an STMLite-style central serial commit (ablation) *)
+  max_inflight : int;
+      (** job server: maximum concurrently-running jobs in [\[1, 64\]],
+          further clamped to the host core count at serve time (on a
+          1-core host jobs run effectively sequentially).  Host-only —
+          per-job results are byte-identical at any setting.  Default:
+          [PRIVATEER_MAX_INFLIGHT] or 4. *)
+  queue_cap : int;
+      (** job server: admission-control bound ([>= 0]) on the
+          queued-but-not-running backlog; a full queue blocks [submit]
+          and rejects [try_submit].  [0] means unbounded.  Default:
+          [PRIVATEER_QUEUE_CAP] or 0. *)
 }
 
 val default_host_domains : int
@@ -115,6 +126,8 @@ val make :
   ?inject:(int -> bool) option ->
   ?validate:bool ->
   ?serial_commit:bool ->
+  ?max_inflight:int ->
+  ?queue_cap:int ->
   unit ->
   t
 

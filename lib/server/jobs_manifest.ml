@@ -1,0 +1,153 @@
+(* The jobs-manifest format behind `privateer serve`.
+
+   One job per line (nothing in the system parses JSON — Json.mli is
+   emission-only — so the manifest is a line format):
+
+     <name> workload:<wl> [input=train|ref|alt] [train=train|ref|alt]
+                          [baseline] [repeat=N] [<knob>=<value> ...]
+     <name> file:<path.cm> [baseline] [repeat=N] [<knob>=<value> ...]
+
+   `#` starts a comment; blank lines are skipped.  <knob> is any
+   Runtime_config CLI binding name (workers, checkpoint, schedule,
+   pool-kind, ...), applied over the server's base config — the same
+   single table that feeds the CLI flags, so every engine knob is
+   expressible per job with no manifest change.  `repeat=N` expands
+   the line into N independent jobs named <name>#1 .. <name>#N (each
+   with its own parsed AST: concurrent jobs never share programs).
+   `file:` paths are resolved against the manifest's directory. *)
+
+module RC = Privateer_parallel.Runtime_config
+open Privateer_workloads
+
+let fail ~lineno fmt =
+  Printf.ksprintf (fun msg -> failwith (Printf.sprintf "line %d: %s" lineno msg)) fmt
+
+let input_of_string ~lineno = function
+  | "train" -> Workload.Train
+  | "ref" -> Workload.Ref
+  | "alt" -> Workload.Alt
+  | s -> fail ~lineno "unknown input %S (train|ref|alt)" s
+
+(* The per-job engine knobs reuse the CLI's binding table: key=value
+   pairs resolve by flag name and fold over the base config. *)
+let find_binding key =
+  List.find_opt (fun (b : RC.binding) -> List.mem key b.b_flags) RC.cli_bindings
+
+type parsed_line = {
+  p_name : string;
+  p_program : unit -> Privateer_ir.Ast.program; (* fresh AST per call *)
+  mutable p_train : Privateer.Pipeline.setup;
+  mutable p_run : Privateer.Pipeline.setup;
+  p_workload : Workload.t option;
+  mutable p_config : RC.t;
+  mutable p_baseline : bool;
+  mutable p_repeat : int;
+}
+
+let parse_source ~lineno ~dir src =
+  match String.index_opt src ':' with
+  | None -> fail ~lineno "job source must be workload:<name> or file:<path>, got %S" src
+  | Some i -> (
+    let kind = String.sub src 0 i in
+    let arg = String.sub src (i + 1) (String.length src - i - 1) in
+    match kind with
+    | "workload" -> (
+      match Workloads.find arg with
+      | Some wl -> ((fun () -> Workload.program wl), Some wl)
+      | None ->
+        fail ~lineno "unknown workload %S (have: %s)" arg
+          (String.concat ", " (List.map (fun (w : Workload.t) -> w.name) Workloads.all)))
+    | "file" ->
+      let path = if Filename.is_relative arg then Filename.concat dir arg else arg in
+      if not (Sys.file_exists path) then fail ~lineno "no such file %S" path;
+      let source = In_channel.with_open_text path In_channel.input_all in
+      ((fun () -> Privateer.Pipeline.parse source), None)
+    | k -> fail ~lineno "unknown job source kind %S (workload|file)" k)
+
+let apply_option ~lineno p key value =
+  match (key, value) with
+  | "input", Some v -> (
+    match p.p_workload with
+    | Some wl -> p.p_run <- Workload.setup wl (input_of_string ~lineno v)
+    | None -> fail ~lineno "input= only applies to workload: jobs")
+  | "train", Some v -> (
+    match p.p_workload with
+    | Some wl -> p.p_train <- Workload.setup wl (input_of_string ~lineno v)
+    | None -> fail ~lineno "train= only applies to workload: jobs")
+  | "baseline", None -> p.p_baseline <- true
+  | "baseline", Some v -> (
+    match bool_of_string_opt v with
+    | Some b -> p.p_baseline <- b
+    | None -> fail ~lineno "baseline: expected true or false, got %S" v)
+  | "repeat", Some v -> (
+    match int_of_string_opt v with
+    | Some n when n >= 1 -> p.p_repeat <- n
+    | Some _ | None -> fail ~lineno "repeat: expected a positive integer, got %S" v)
+  | key, value -> (
+    match find_binding key with
+    | None -> fail ~lineno "unknown job option %S" key
+    | Some b -> (
+      let v =
+        match value with
+        | Some v -> v
+        | None when b.b_flag_like -> "true"
+        | None -> fail ~lineno "option %s needs a value" key
+      in
+      match b.b_apply p.p_config v with
+      | Ok c -> p.p_config <- c
+      | Error msg -> fail ~lineno "%s" msg))
+
+let parse_job_line ~base ~dir ~lineno line =
+  match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+  | [] | [ _ ] -> fail ~lineno "expected: <name> workload:<wl>|file:<path> [options]"
+  | name :: src :: options ->
+    let program, workload = parse_source ~lineno ~dir src in
+    let p =
+      { p_name = name; p_program = program;
+        p_train =
+          (match workload with
+          | Some wl -> Workload.setup wl Workload.Train
+          | None -> Privateer.Pipeline.no_setup);
+        p_run =
+          (match workload with
+          | Some wl -> Workload.setup wl Workload.Ref
+          | None -> Privateer.Pipeline.no_setup);
+        p_workload = workload; p_config = base; p_baseline = false; p_repeat = 1 }
+    in
+    List.iter
+      (fun opt ->
+        match String.index_opt opt '=' with
+        | Some i ->
+          apply_option ~lineno p (String.sub opt 0 i)
+            (Some (String.sub opt (i + 1) (String.length opt - i - 1)))
+        | None -> apply_option ~lineno p opt None)
+      options;
+    List.init p.p_repeat (fun k ->
+        let name =
+          if p.p_repeat = 1 then p.p_name
+          else Printf.sprintf "%s#%d" p.p_name (k + 1)
+        in
+        Job_server.job_spec ~train:p.p_train ~run:p.p_run ~config:p.p_config
+          ~baseline:p.p_baseline ~name
+          (p.p_program ()))
+
+(* Parse manifest text; [dir] anchors relative file: paths.
+   @raise Failure with a line number on malformed lines. *)
+let parse ?(dir = ".") ~base text =
+  let lines = String.split_on_char '\n' text in
+  List.concat
+    (List.mapi
+       (fun i line ->
+         let lineno = i + 1 in
+         let line =
+           match String.index_opt line '#' with
+           | Some j -> String.sub line 0 j
+           | None -> line
+         in
+         let line = String.trim line in
+         if line = "" then [] else parse_job_line ~base ~dir ~lineno line)
+       lines)
+
+let load ~base path =
+  let text = In_channel.with_open_text path In_channel.input_all in
+  parse ~dir:(Filename.dirname path) ~base text

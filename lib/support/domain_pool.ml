@@ -1,5 +1,15 @@
 (* A small fixed pool of OCaml 5 domains.
 
+   The pool is a process-wide scheduler, not a per-run helper: any
+   number of client domains may submit work concurrently — barrier
+   fan-outs via [run], fire-and-forget futures via [submit]/[await] —
+   and tasks from all of them interleave on the same worker domains.
+   The job server multiplexes whole speculative pipelines this way:
+   each job body is one future, and the stage fan-outs it performs
+   ([run] called from inside a pool task) push their tasks onto the
+   same deques, so one job's merge shards interleave with another's
+   extraction scans instead of monopolizing the pool.
+
    Two scheduler kinds share one [run] contract:
 
    - [Work_stealing] (the default): one chunked circular deque per
@@ -128,6 +138,7 @@ type t = {
   queue : (unit -> unit) Queue.t; (* Single_queue work *)
   deques : deque array; (* Work_stealing work, one per domain *)
   enqueued : int Atomic.t; (* Work_stealing wake-up predicate *)
+  submit_rr : int Atomic.t; (* Work_stealing [submit] placement cursor *)
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
 }
@@ -207,7 +218,8 @@ let create ?(kind = Work_stealing) ~domains () =
         (match kind with
         | Work_stealing -> Array.init domains (fun _ -> deque_create ())
         | Single_queue -> [||]);
-      enqueued = Atomic.make 0; stopping = false; workers = [] }
+      enqueued = Atomic.make 0; submit_rr = Atomic.make 0; stopping = false;
+      workers = [] }
   in
   t.workers <-
     List.init (domains - 1) (fun i ->
@@ -302,21 +314,132 @@ let run t tasks =
            | None -> assert false)
          results)
 
+(* ---- futures ----------------------------------------------------------- *)
+
+(* A one-shot result cell.  [fu_st] is guarded by the pool mutex; the
+   settling task broadcasts [work_ready] under that mutex, so an
+   awaiter that re-checks the state under the lock before sleeping
+   cannot miss the settle. *)
+type 'a state = Pending | Settled of 'a | Failed of exn
+
+type 'a future = { fu_pool : t; mutable fu_st : 'a state }
+
+let submit t f =
+  if t.visible <= 1 || t.stopping then
+    (* Sequential fallback, mirroring [run]: execute on the submitting
+       domain and hand back an already-settled future. *)
+    { fu_pool = t;
+      fu_st = (match f () with v -> Settled v | exception e -> Failed e) }
+  else begin
+    let fu = { fu_pool = t; fu_st = Pending } in
+    let task () =
+      let st = match f () with v -> Settled v | exception e -> Failed e in
+      Mutex.lock t.mutex;
+      fu.fu_st <- st;
+      (* Awaiters sleep on the workers' condition: a settle is as much
+         a "re-scan now" event as a submission. *)
+      Condition.broadcast t.work_ready;
+      Mutex.unlock t.mutex
+    in
+    (match t.kind with
+    | Single_queue ->
+      Mutex.lock t.mutex;
+      Queue.push task t.queue;
+      Condition.broadcast t.work_ready;
+      Mutex.unlock t.mutex
+    | Work_stealing ->
+      (* Round-robin placement spreads independent submissions across
+         the deques; steals rebalance whatever this gets wrong. *)
+      let d = Array.length t.deques in
+      let j = Atomic.fetch_and_add t.submit_rr 1 mod d in
+      let j = if j < 0 then j + d else j in
+      deque_push_batch t.deques.(j) [ task ];
+      Atomic.incr t.enqueued;
+      Mutex.lock t.mutex;
+      Condition.broadcast t.work_ready;
+      Mutex.unlock t.mutex);
+    fu
+  end
+
+let poll fu =
+  let t = fu.fu_pool in
+  Mutex.lock t.mutex;
+  let st = fu.fu_st in
+  Mutex.unlock t.mutex;
+  match st with
+  | Pending -> None
+  | Settled v -> Some (Ok v)
+  | Failed e -> Some (Error e)
+
+(* Take one task destined for anyone — [await]'s way of helping while
+   its future is pending.  Work_stealing scans every deque starting at
+   slot 0; Single_queue takes from the shared queue. *)
+let help_one t =
+  match t.kind with
+  | Work_stealing -> try_run_one t 0
+  | Single_queue ->
+    Mutex.lock t.mutex;
+    let task = Queue.take_opt t.queue in
+    Mutex.unlock t.mutex;
+    (match task with
+    | Some task ->
+      task ();
+      true
+    | None -> false)
+
+let await fu =
+  let t = fu.fu_pool in
+  let rec loop () =
+    Mutex.lock t.mutex;
+    match fu.fu_st with
+    | Settled v ->
+      Mutex.unlock t.mutex;
+      v
+    | Failed e ->
+      Mutex.unlock t.mutex;
+      raise e
+    | Pending ->
+      Mutex.unlock t.mutex;
+      if help_one t then loop ()
+      else begin
+        (* Nothing takeable: the future's task (or work it spawned) is
+           in flight on another domain.  Every settle and every
+           submission broadcasts under [t.mutex], so re-checking state
+           and queues under the lock closes the lost wake-up window. *)
+        Mutex.lock t.mutex;
+        (match fu.fu_st with
+        | Pending
+          when Atomic.get t.enqueued = 0 && Queue.is_empty t.queue
+               && not t.stopping ->
+          Condition.wait t.work_ready t.mutex
+        | _ -> ());
+        Mutex.unlock t.mutex;
+        loop ()
+      end
+  in
+  loop ()
+
 (* ---- process-wide shared pool ----------------------------------------- *)
 
+let shared_mutex = Mutex.create ()
 let shared_pool : t option ref = ref None
 
 let shared ?(kind = Work_stealing) ~domains () =
   let domains = max 1 domains in
-  match !shared_pool with
-  | Some p when p.actual >= domains && p.kind = kind && not p.stopping ->
-    (* Reuse the spawned domains, but report (and chunk for) the
-       parallelism this caller asked for — a smaller request must not
-       silently inherit the larger pool's size. *)
-    p.visible <- domains;
-    p
-  | prev ->
-    Option.iter shutdown prev;
-    let p = create ~kind ~domains () in
-    shared_pool := Some p;
-    p
+  Mutex.lock shared_mutex;
+  let p =
+    match !shared_pool with
+    | Some p when p.actual >= domains && p.kind = kind && not p.stopping ->
+      (* Reuse the spawned domains, but report (and chunk for) the
+         parallelism this caller asked for — a smaller request must not
+         silently inherit the larger pool's size. *)
+      p.visible <- domains;
+      p
+    | prev ->
+      Option.iter shutdown prev;
+      let p = create ~kind ~domains () in
+      shared_pool := Some p;
+      p
+  in
+  Mutex.unlock shared_mutex;
+  p

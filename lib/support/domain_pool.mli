@@ -4,10 +4,20 @@
     pool exists so that {e host} work whose result is order-independent
     — checkpoint extraction scans over disjoint shadow pages, above
     all — can fan out over the machine's cores without perturbing any
-    simulated state.  Consumers must uphold two rules: {ul
-    {- tasks only {e read} shared structures (or write task-local
-       ones) — the pool adds no locking around user data;}
-    {- tasks never call back into the pool ([run] does not nest).}}
+    simulated state.  Consumers must uphold one rule: tasks touching
+    the same mutable structure synchronize it themselves (or write
+    task-local state) — the pool adds no locking around user data.
+
+    The pool is a process-wide scheduler, safe for concurrent clients:
+    any number of domains may call {!run} and {!submit} at once, and
+    a pool task may itself call back into the pool.  A nested {!run}
+    pushes its tasks onto the same queues and the calling task helps
+    drain them before waiting, so the waits-for graph stays acyclic
+    (every blocked domain first exhausts all takeable work, and
+    in-flight tasks are by definition executing on some domain).  The
+    job server leans on this: each job body is one {!submit}ted task,
+    and the stage fan-outs it performs are nested {!run}s whose tasks
+    interleave with other jobs' on the same deques.
 
     A pool of size 1 (or an empty/singleton task list) degrades to
     plain sequential execution in the calling domain, with no domains
@@ -56,6 +66,29 @@ val pool_kind : t -> kind
     (not completion order) is re-raised.  After [shutdown] the tasks
     still run, sequentially in the calling domain. *)
 val run : t -> (unit -> 'a) list -> 'a list
+
+(** A one-shot handle to a task submitted with {!submit}. *)
+type 'a future
+
+(** [submit t f] schedules [f] to run on the pool and returns a future
+    for its result, without blocking.  On a pool of size 1 (or after
+    [shutdown]) [f] runs inline on the calling domain and the returned
+    future is already settled — the sequential path stays the
+    reference semantics, mirroring {!run}.  [f]'s exception, if any,
+    is captured and re-raised by {!await}. *)
+val submit : t -> (unit -> 'a) -> 'a future
+
+(** [await fu] blocks until [fu] settles, returning the task's result
+    or re-raising its exception.  While the future is pending the
+    awaiting domain {e helps}: it drains other pool tasks instead of
+    idling, so awaiting from inside a pool task cannot deadlock the
+    pool. *)
+val await : 'a future -> 'a
+
+(** [poll fu] is [Some (Ok v)] / [Some (Error e)] once the future has
+    settled, [None] while it is pending.  Never blocks and never
+    re-raises. *)
+val poll : 'a future -> ('a, exn) result option
 
 (** Stop and join the worker domains.  Idempotent.  Subsequent [run]s
     fall back to sequential execution. *)

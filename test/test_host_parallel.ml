@@ -641,6 +641,131 @@ let test_shared_reports_requested_size () =
   let p3' = Domain_pool.shared ~domains:3 () in
   check_int "re-request restores the size" 3 (Domain_pool.size p3')
 
+(* ---- futures: submit / await -------------------------------------------- *)
+
+let test_submit_await_basic () =
+  with_both_kinds (fun p label ->
+      let fus = List.init 50 (fun i -> Domain_pool.submit p (fun () -> i * 3)) in
+      let results = List.map Domain_pool.await fus in
+      check
+        (Printf.sprintf "awaited results in submission order (%s)" label)
+        true
+        (results = List.init 50 (fun i -> i * 3));
+      (* A settled future stays settled: poll and re-await agree. *)
+      let fu = Domain_pool.submit p (fun () -> 41) in
+      check_int (Printf.sprintf "await (%s)" label) 41 (Domain_pool.await fu);
+      check
+        (Printf.sprintf "poll after settle (%s)" label)
+        true
+        (Domain_pool.poll fu = Some (Ok 41));
+      check_int (Printf.sprintf "re-await (%s)" label) 41 (Domain_pool.await fu))
+
+let test_submit_exception () =
+  with_both_kinds (fun p label ->
+      let fu = Domain_pool.submit p (fun () -> raise (Boom 9)) in
+      (match Domain_pool.await fu with
+      | _ -> Alcotest.fail (label ^ ": expected Boom")
+      | exception Boom 9 -> ());
+      (* The failure is confined to its future: the pool survives. *)
+      check_int
+        (Printf.sprintf "pool usable after failed future (%s)" label)
+        5
+        (Domain_pool.await (Domain_pool.submit p (fun () -> 5))))
+
+let test_submit_inline_fallback () =
+  (* A pool of size 1 runs the task inline on the submitting domain:
+     the future is settled before submit returns. *)
+  let p = Domain_pool.create ~domains:1 () in
+  let ran = ref false in
+  let fu = Domain_pool.submit p (fun () -> ran := true; 13) in
+  check "inline execution on size-1 pool" true !ran;
+  check "inline future settled" true (Domain_pool.poll fu = Some (Ok 13));
+  check_int "inline await" 13 (Domain_pool.await fu);
+  Domain_pool.shutdown p;
+  (* After shutdown, submit degrades the same way. *)
+  let fu = Domain_pool.submit p (fun () -> 14) in
+  check_int "inline await after shutdown" 14 (Domain_pool.await fu)
+
+(* The job-server pattern: a submitted task performs a nested barrier
+   [run] on the same pool (stage fan-outs inside a job body), and the
+   awaiting caller helps instead of deadlocking. *)
+let test_nested_run_inside_future () =
+  with_both_kinds (fun p label ->
+      let fus =
+        List.init 6 (fun j ->
+            Domain_pool.submit p (fun () ->
+                let parts = Domain_pool.run p (List.init 8 (fun i () -> (j * 8) + i)) in
+                List.fold_left ( + ) 0 parts))
+      in
+      let expected j = List.init 8 (fun i -> (j * 8) + i) |> List.fold_left ( + ) 0 in
+      List.iteri
+        (fun j fu ->
+          check_int
+            (Printf.sprintf "nested run result %d (%s)" j label)
+            (expected j) (Domain_pool.await fu))
+        fus)
+
+(* Concurrent barrier [run]s from independent client domains share one
+   pool: each caller must get its own results in its own task order. *)
+let test_concurrent_barrier_runs () =
+  with_both_kinds (fun p label ->
+      let client c =
+        Domain.spawn (fun () ->
+            List.init 20 (fun round ->
+                Domain_pool.run p (List.init 10 (fun i () -> (c * 1000) + (round * 10) + i)))
+            |> List.concat)
+      in
+      let clients = List.init 3 client in
+      List.iteri
+        (fun c d ->
+          let got = Domain.join d in
+          let want =
+            List.concat
+              (List.init 20 (fun round ->
+                   List.init 10 (fun i -> (c * 1000) + (round * 10) + i)))
+          in
+          check
+            (Printf.sprintf "client %d results in task order (%s)" c label)
+            true (got = want))
+        clients)
+
+(* qcheck: interleaved submit/await from several client domains
+   preserves per-client result order, and a failing task's exception
+   surfaces at exactly its position — on both pool kinds. *)
+let submitters_arb =
+  QCheck.make
+    ~print:(fun (clients, per, fail_mod) ->
+      Printf.sprintf "%d clients x %d tasks, fail mod %d" clients per fail_mod)
+    QCheck.Gen.(triple (int_range 2 4) (int_range 1 25) (int_range 0 7))
+
+let prop_concurrent_submitters (clients, per, fail_mod) =
+  let check_kind kind =
+    let p = Domain_pool.create ~kind ~domains:3 () in
+    Fun.protect ~finally:(fun () -> Domain_pool.shutdown p)
+      (fun () ->
+        let fails c i = fail_mod > 0 && (i + c) mod fail_mod = 1 in
+        let client c =
+          Domain.spawn (fun () ->
+              (* Interleave: submit everything, then await in order. *)
+              let fus =
+                List.init per (fun i ->
+                    Domain_pool.submit p (fun () ->
+                        if fails c i then raise (Boom ((c * 1000) + i))
+                        else (c * 1000) + i))
+              in
+              List.mapi
+                (fun i fu ->
+                  match Domain_pool.await fu with
+                  | v -> (not (fails c i)) && v = (c * 1000) + i
+                  | exception Boom b -> fails c i && b = (c * 1000) + i
+                  | exception _ -> false)
+                fus)
+        in
+        let domains = List.init clients client in
+        List.for_all (fun d -> List.for_all Fun.id (Domain.join d)) domains)
+  in
+  check_kind Domain_pool.Work_stealing && check_kind Domain_pool.Single_queue
+
 (* ---- the host controller ------------------------------------------------- *)
 
 let test_controller_modes () =
@@ -699,6 +824,8 @@ let suite =
         intervals_arb prop_incremental_merge_equals_rebuilt;
       QCheck.Test.make ~count:120 ~name:"pooled parallel reset = plain reset"
         big_ops_arb prop_pooled_reset_matches_plain;
+      QCheck.Test.make ~count:30 ~name:"concurrent submitters: order + exceptions"
+        submitters_arb prop_concurrent_submitters;
       QCheck.Test.make ~count:15 ~name:"pipeline identical across domains x pool cap"
         Test_props.body_arb prop_pipeline_identical_across_host_domains ]
   @ [ Alcotest.test_case "clean interval: zero index ops" `Quick
@@ -723,6 +850,15 @@ let suite =
       Alcotest.test_case "pool: first task-order exception wins" `Quick
         test_pool_exception_order;
       Alcotest.test_case "pool: shutdown fallback" `Quick test_pool_shutdown_fallback;
+      Alcotest.test_case "pool: submit/await basics" `Quick test_submit_await_basic;
+      Alcotest.test_case "pool: future exception confined" `Quick
+        test_submit_exception;
+      Alcotest.test_case "pool: submit inline fallback" `Quick
+        test_submit_inline_fallback;
+      Alcotest.test_case "pool: nested run inside future" `Quick
+        test_nested_run_inside_future;
+      Alcotest.test_case "pool: concurrent barrier runs" `Quick
+        test_concurrent_barrier_runs;
       Alcotest.test_case "pool: size validation" `Quick test_pool_size_validation;
       Alcotest.test_case "pool: shared reports requested size" `Quick
         test_shared_reports_requested_size;

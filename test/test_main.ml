@@ -14,4 +14,5 @@ let () =
       ("host-parallel", Test_host_parallel.suite);
       ("baselines", Test_baselines.suite);
       ("workloads", Test_workloads.suite);
-      ("properties", Test_props.suite) ]
+      ("properties", Test_props.suite);
+      ("server", Test_server.suite) ]
