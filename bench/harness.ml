@@ -38,21 +38,21 @@ let config ?(workers = 24) ?checkpoint_period ?inject ?(serial_commit = false)
     ?(merge_shards = Privateer_parallel.Runtime_config.default_merge_shards)
     ?(pool_kind = Privateer_parallel.Runtime_config.default_pool_kind)
     ?(host_controller = Privateer_parallel.Runtime_config.default_host_controller)
-    () =
+    ?(validation = Privateer_parallel.Runtime_config.default_validation) () =
   { Privateer_parallel.Executor.default_config with
     workers; checkpoint_period; inject; serial_commit; schedule;
     adaptive_period = adaptive; throttle; host_domains; pool_cap; merge_shards;
-    pool_kind; host_controller }
+    pool_kind; host_controller; validation }
 
 let run_parallel ?workers ?checkpoint_period ?inject ?serial_commit ?schedule
     ?adaptive ?throttle ?host_domains ?pool_cap ?merge_shards ?pool_kind
-    ?host_controller c =
+    ?host_controller ?validation c =
   Pipeline.run_parallel
     ~setup:(Workload.setup c.wl Workload.Ref)
     ~config:
       (config ?workers ?checkpoint_period ?inject ?serial_commit ?schedule ?adaptive
          ?throttle ?host_domains ?pool_cap ?merge_shards ?pool_kind ?host_controller
-         ())
+         ?validation ())
     c.tr
 
 let speedup c (par : Pipeline.par_run) =

@@ -432,7 +432,7 @@ let () =
     List.iter (fun (_, f) -> f ()) experiments;
     print_newline ();
     print_endline
-      "(wall-clock experiments: dune exec bench/main.exe -- micro | overhead | host_parallel | interval_reset | merge | controller | server)"
+      "(wall-clock experiments: dune exec bench/main.exe -- micro | overhead | host_parallel | interval_reset | merge | controller | server | eager)"
   | _ :: [ "micro" ] -> Micro.run ()
   | _ :: names ->
     List.iter
@@ -446,9 +446,10 @@ let () =
         | None when name = "merge" -> Merge.run ()
         | None when name = "controller" -> Controller.run ()
         | None when name = "server" -> Server.run ()
+        | None when name = "eager" -> Eager.run ()
         | None ->
           Printf.eprintf
-            "unknown experiment %s (have: %s, micro, overhead, host_parallel, interval_reset, merge, controller, server)\n"
+            "unknown experiment %s (have: %s, micro, overhead, host_parallel, interval_reset, merge, controller, server, eager)\n"
             name
             (String.concat ", " (List.map fst experiments));
           exit 1)

@@ -153,6 +153,7 @@ let config_json (cfg : RC.t) =
         String (Privateer_parallel.Host_controller.mode_to_string cfg.host_controller)
       );
       ("schedule", String (Privateer_parallel.Schedule.to_string cfg.schedule));
+      ("validation", String (RC.validation_to_string cfg.validation));
       ("pool_cap", Int cfg.pool_cap) ]
 
 (* Machine-readable report: the configuration, whole-run numbers,
@@ -219,6 +220,17 @@ let json_report ~config:cfg ~seq ~(par : Pipeline.par_run) ~fallbacks =
             ("seq_merges", Int stats.seq_merges);
             ("par_spawns", Int stats.par_spawns);
             ("seq_spawns", Int stats.seq_spawns) ] );
+      (* Eager in-flight validation counters: deterministic for a given
+         validation mode, but exempt from the cross-MODE identity
+         contract (commit mode reports zeros for kills/checks/hits; the
+         authoritative exemption table lives in docs/RUNTIME.md). *)
+      ( "eager",
+        Obj
+          [ ("eager_kills", Int stats.eager_kills);
+            ("eager_checks", Int stats.eager_checks);
+            ("eager_hits", Int stats.eager_hits);
+            ("squashed_iterations", Int stats.squashed_iterations);
+            ("avoided_iterations", Int stats.avoided_iterations) ] );
       ("loops", List loops) ]
 
 let report_run ~seq ~(par : Pipeline.par_run) ~fallbacks =

@@ -10,7 +10,16 @@
    reset (which likewise visits only timestamp-flagged pages, while
    the simulated per-page charge stays on every mapped shadow page).  The final interval additionally adopts
    allocator state and live-out private registers from the worker
-   that ran the last iteration. *)
+   that ran the last iteration.
+
+   Under `--validation eager` the in-flight conflict board
+   (Conflict_board, see docs/SPECULATION.md) may squash an interval
+   before it reaches this module, but the phase-2 validation here
+   remains the authoritative backstop: the board is sound but
+   incomplete (it only sees current-interval summaries), so any
+   conflict it misses — e.g. against the carried merge index — is
+   still caught by the merge below, and commit mode doubles as the
+   differential oracle for eager mode's verdicts. *)
 
 open Privateer_machine
 open Privateer_interp

@@ -38,6 +38,7 @@ type config = Runtime_config.t = {
   costs : Cost_model.t;
   inject : (int -> bool) option;
   validate : bool;
+  validation : Runtime_config.validation;
   serial_commit : bool;
   max_inflight : int;
   queue_cap : int;
@@ -103,7 +104,7 @@ let create ?pool manifest config =
 
 let env t =
   { Worker.cm = t.config.costs; stats = t.stats; manifest = t.manifest;
-    validate = t.config.validate; inject = t.config.inject }
+    validate = t.config.validate; inject = t.config.inject; board = None }
 
 (* True once the throttle has demoted the loop: later invocations run
    sequentially until something re-enables speculation. *)
@@ -122,7 +123,13 @@ let auto_period n = max 1 (min Shadow.max_interval ((n + 5) / 6))
 
 let run_invocation t (st : Interp.t) fr (spec : Manifest.loop_spec) ~var ~init_value
     ~n ~body =
-  let env = env t in
+  (* Eager validation: one conflict board per invocation, threaded to
+     the workers through the environment.  Without validation there is
+     nothing to publish, so --no-validate ablations stay board-free in
+     either mode. *)
+  let eager = t.config.validation = Runtime_config.Eager && t.config.validate in
+  let board = if eager then Some (Conflict_board.create ()) else None in
+  let env = { (env t) with Worker.board } in
   let stats = t.stats in
   let ls = Stats.loop_stats stats spec.loop in
   stats.invocations <- stats.invocations + 1;
@@ -196,25 +203,52 @@ let run_invocation t (st : Interp.t) fr (spec : Manifest.loop_spec) ~var ~init_v
           Worker.spawn ?pool:t.pool ~controller:t.controller env st fr spec
             ctx.Commit.ranges nw ~now:!timeline
         in
+        (match board with
+        | Some b ->
+          Conflict_board.new_cohort b
+            (List.map
+               (fun (w : Worker.t) -> (w.Worker.w_id, w.Worker.w_st.Interp.machine))
+               workers)
+        | None -> ());
         let rec interval_loop i0 =
           let hi = min n (i0 + Recovery.current_period period) in
+          (match board with
+          | Some b -> Conflict_board.new_interval b ~interval_start:i0
+          | None -> ());
           let owner =
             Schedule.owner t.config.schedule ~workers:nw ~spawn_start:start_iter
               ~lo:i0 ~hi
           in
-          (* Execute every worker's iterations of [i0, hi). *)
+          (* Execute every worker's iterations of [i0, hi).  In eager
+             mode the first misspeculation — board-confirmed or inline
+             — squashes the whole sweep: the observing worker stops,
+             and every worker after it in the (deterministic) sweep
+             order never runs this interval, which is the mode's
+             entire saving.  Commit mode reproduces the paper's
+             behavior: every worker burns its full slice and the
+             discard happens below. *)
           let misspecs = ref [] in
-          List.iter
-            (fun (w : Worker.t) ->
-              try
-                for iter = i0 to hi - 1 do
-                  if owner iter = w.Worker.w_id then
-                    Worker.exec_iteration env w ~var ~init_value ~iter
-                      ~interval_start:i0 ~body ~predictions ~io
-                done
-              with Worker.Worker_misspec (iter, reason) ->
-                misspecs := (iter, reason) :: !misspecs)
-            workers;
+          let executed = ref 0 in
+          let eager_killed = ref false in
+          (try
+             List.iter
+               (fun (w : Worker.t) ->
+                 try
+                   for iter = i0 to hi - 1 do
+                     if owner iter = w.Worker.w_id then begin
+                       incr executed;
+                       Worker.exec_iteration env w ~var ~init_value ~iter
+                         ~interval_start:i0 ~body ~predictions ~io
+                     end
+                   done
+                 with Worker.Worker_misspec (iter, reason) ->
+                   misspecs := (iter, reason) :: !misspecs;
+                   if eager then begin
+                     eager_killed := true;
+                     raise Exit
+                   end)
+               workers
+           with Exit -> ());
           (* Contributions and phase-2 validation. *)
           let contributions =
             if !misspecs <> [] then []
@@ -242,6 +276,20 @@ let run_invocation t (st : Interp.t) fr (spec : Manifest.loop_spec) ~var ~init_v
           in
           match violation with
           | Some (miss_iter, _reason) ->
+            (* Every speculatively executed iteration of a squashed
+               interval is wasted work — the comparison metric between
+               the two validation modes.  An eager kill additionally
+               records how much of commit mode's waste it skipped, and
+               hands the adaptive period the observed conflict
+               distance (something merge-time detection, pinned to the
+               interval end, cannot know). *)
+            stats.squashed_iterations <- stats.squashed_iterations + !executed;
+            if !eager_killed then begin
+              stats.eager_kills <- stats.eager_kills + 1;
+              stats.avoided_iterations <-
+                stats.avoided_iterations + (hi - i0 - !executed)
+            end;
+            if eager then Recovery.period_note_eager period ~interval_start:i0 ~miss_iter;
             Recovery.period_on_misspec period;
             Recovery.throttle_note_misspec throttle;
             ls.l_misspeculations <- ls.l_misspeculations + 1;
@@ -275,6 +323,11 @@ let run_invocation t (st : Interp.t) fr (spec : Manifest.loop_spec) ~var ~init_v
       end
     in
     parallel_from 0;
+    (match board with
+    | Some b ->
+      stats.eager_checks <- stats.eager_checks + Conflict_board.checks b;
+      stats.eager_hits <- stats.eager_hits + Conflict_board.hits b
+    | None -> ());
     finish_induction ();
     st.emit <- emit_main;
     stats.wall_cycles <- stats.wall_cycles + !timeline;

@@ -80,6 +80,18 @@ let period_on_clean p =
     end
   end
 
+(* The eager validator's extra signal: unlike a merge-time violation
+   (pinned to the interval's last iteration), an eager kill knows the
+   distance from the interval start to the earliest violating
+   iteration.  Clamp the adaptive period down to that observed
+   conflict horizon, so the very next interval checkpoints right
+   around where conflicts are appearing instead of waiting for
+   [period_on_misspec]'s halving to catch up; the usual two-clean
+   doubling grows it back once the contention passes. *)
+let period_note_eager p ~interval_start ~miss_iter =
+  if p.p_adaptive then
+    p.p_current <- max 1 (min p.p_current (miss_iter - interval_start + 1))
+
 (* ---- per-loop misspeculation throttle -------------------------------- *)
 
 type throttle = {

@@ -10,6 +10,22 @@
 
 module Page_pool = Privateer_runtime.Page_pool
 
+(* When misspeculation is detected.  [Commit]: only at the checkpoint
+   merge (the paper's two-phase validation).  [Eager]: additionally
+   in-flight, through the conflict board — the first observed
+   violation squashes the interval immediately.  Final outputs,
+   results and violation verdicts are identical in both modes; only
+   wasted-work accounting (and, on violating runs, cycles) differ. *)
+type validation = Commit | Eager
+
+let validation_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "commit" -> Some Commit
+  | "eager" -> Some Eager
+  | _ -> None
+
+let validation_to_string = function Commit -> "commit" | Eager -> "eager"
+
 type t = {
   workers : int; (* simulated worker processes *)
   host_domains : int;
@@ -52,6 +68,13 @@ type t = {
   costs : Cost_model.t;
   inject : (int -> bool) option; (* injected misspeculation, by iteration *)
   validate : bool; (* false: disable all validation work (ablation) *)
+  validation : validation;
+      (* when violations are detected: at the checkpoint merge only
+         (Commit, the default) or additionally in-flight through the
+         eager conflict board (Eager), which kills doomed intervals at
+         the first observed violation.  Outputs and verdicts are
+         identical in both modes; commit mode stays the differential
+         oracle. *)
   serial_commit : bool;
       (* true: model an STMLite-style central commit process that
          serially merges every contributed page (ablation; the paper
@@ -125,13 +148,22 @@ let default_host_controller =
     | None -> Host_controller.Auto)
   | None -> Host_controller.Auto
 
+(* PRIVATEER_VALIDATION ("commit" | "eager") selects the default
+   validation mode, so CI can push the whole unmodified suite through
+   the eager path. *)
+let default_validation =
+  match Sys.getenv_opt "PRIVATEER_VALIDATION" with
+  | Some s -> (
+    match validation_of_string s with Some v -> v | None -> Commit)
+  | None -> Commit
+
 let default =
   { workers = 4; host_domains = default_host_domains;
     merge_shards = default_merge_shards; pool_kind = default_pool_kind;
     host_controller = default_host_controller; schedule = Schedule.Cyclic;
     checkpoint_period = None; adaptive_period = false; throttle = None;
     pool_cap = default_pool_cap; costs = Cost_model.default; inject = None;
-    validate = true; serial_commit = false;
+    validate = true; validation = default_validation; serial_commit = false;
     max_inflight = env_int ~lo:1 ~hi:64 ~default:4 "PRIVATEER_MAX_INFLIGHT";
     queue_cap = env_int ~lo:0 ~hi:max_int ~default:0 "PRIVATEER_QUEUE_CAP" }
 
@@ -177,7 +209,8 @@ let validate config =
 
 let make ?workers ?host_domains ?merge_shards ?pool_kind ?host_controller
     ?schedule ?checkpoint_period ?adaptive_period ?throttle ?pool_cap ?costs
-    ?inject ?validate:validate_opt ?serial_commit ?max_inflight ?queue_cap () =
+    ?inject ?validate:validate_opt ?validation ?serial_commit ?max_inflight
+    ?queue_cap () =
   let opt v d = Option.value v ~default:d in
   let config =
     { workers = opt workers default.workers;
@@ -192,6 +225,7 @@ let make ?workers ?host_domains ?merge_shards ?pool_kind ?host_controller
       pool_cap = opt pool_cap default.pool_cap; costs = opt costs default.costs;
       inject = opt inject default.inject;
       validate = opt validate_opt default.validate;
+      validation = opt validation default.validation;
       serial_commit = opt serial_commit default.serial_commit;
       max_inflight = opt max_inflight default.max_inflight;
       queue_cap = opt queue_cap default.queue_cap }
@@ -282,6 +316,20 @@ let cli_bindings =
             Error
               (Printf.sprintf "host-controller: expected auto, always or never, got %S"
                  s)) };
+    { b_flags = [ "validation" ]; b_docv = "MODE";
+      b_doc =
+        "Misspeculation detection: 'commit' (only at the checkpoint merge — the \
+         default) or 'eager' (in-flight conflict board squashes a doomed \
+         interval at the first observed violation; the merge stays on as the \
+         backstop; default \\$(b,PRIVATEER_VALIDATION)).  Final outputs and \
+         violation verdicts are identical in both modes.";
+      b_flag_like = false;
+      b_apply =
+        (fun t s ->
+          match validation_of_string s with
+          | Some validation -> Ok { t with validation }
+          | None ->
+            Error (Printf.sprintf "validation: expected 'commit' or 'eager', got %S" s)) };
     { b_flags = [ "checkpoint" ]; b_docv = "K";
       b_doc = "Checkpoint period in iterations ('none': auto).";
       b_flag_like = false;

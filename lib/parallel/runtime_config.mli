@@ -10,6 +10,21 @@
     environment defaults, and {!cli_bindings} is the single table the
     CLI derives its tuning flags from. *)
 
+(** When misspeculation is detected.  [Commit]: only at the checkpoint
+    merge (the paper's two-phase validation).  [Eager]: additionally
+    in-flight, through {!Privateer_runtime.Conflict_board} — the first
+    observed violation squashes the interval immediately and feeds the
+    adaptive checkpoint period.  Final outputs, results and violation
+    verdicts are byte-identical in both modes (commit mode is the
+    differential oracle); the eager-only counters are listed in the
+    determinism-contract table of [docs/RUNTIME.md]. *)
+type validation = Commit | Eager
+
+val validation_of_string : string -> validation option
+(** ["commit"] / ["eager"] (case-insensitive); [None] otherwise. *)
+
+val validation_to_string : validation -> string
+
 type t = {
   workers : int;  (** simulated worker processes (> 0) *)
   host_domains : int;
@@ -63,6 +78,11 @@ type t = {
   inject : (int -> bool) option;
       (** injected misspeculation, by iteration *)
   validate : bool;  (** [false]: disable all validation (ablation) *)
+  validation : validation;
+      (** misspeculation-detection mode: {!Commit} (merge-time only,
+          the default) or {!Eager} (in-flight conflict board with
+          mid-interval squash; the merge stays on as the backstop).
+          Default: [PRIVATEER_VALIDATION] or [Commit]. *)
   serial_commit : bool;
       (** model an STMLite-style central serial commit (ablation) *)
   max_inflight : int;
@@ -97,6 +117,10 @@ val default_host_controller : Host_controller.mode
 (** The [PRIVATEER_HOST_CONTROLLER] environment default ([Auto] when
     unset or unparseable). *)
 
+val default_validation : validation
+(** The [PRIVATEER_VALIDATION] environment default ([Commit] when
+    unset or unparseable). *)
+
 val parse_pool_cap : string -> int option
 (** Parse a pool-cap string: a non-negative integer, or ["auto"] for
     [Page_pool.auto].  [None] on anything else. *)
@@ -125,6 +149,7 @@ val make :
   ?costs:Cost_model.t ->
   ?inject:(int -> bool) option ->
   ?validate:bool ->
+  ?validation:validation ->
   ?serial_commit:bool ->
   ?max_inflight:int ->
   ?queue_cap:int ->

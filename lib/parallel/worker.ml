@@ -24,6 +24,9 @@ type env = {
   manifest : Manifest.t;
   validate : bool;
   inject : (int -> bool) option;
+  board : Conflict_board.t option;
+      (* eager validation: the invocation's in-flight conflict board;
+         None in commit mode *)
 }
 
 (* Per-worker simulated process. *)
@@ -46,6 +49,27 @@ exception Worker_misspec of int * Misspec.reason (* iteration, reason *)
 let charge_instr w n =
   Interp.charge w.w_st n;
   w.w_instr <- w.w_instr + n
+
+(* Eager validation: publish a private access to the conflict board
+   right after its [Shadow.access] and raise on the first confirmed
+   cross-worker conflict.  The board models the Speculative Threading
+   Unit's always-on tracker hardware, so publication costs no
+   simulated cycles — which is also what keeps violation-free eager
+   runs cycle-identical to commit mode. *)
+let publish (env : env) w op ~addr ~size =
+  match env.board with
+  | None -> ()
+  | Some board -> (
+    match
+      Conflict_board.publish board ~worker:w.w_id ~op ~addr ~size ~iter:w.w_iter
+    with
+    | None -> ()
+    | Some c ->
+      raise
+        (Misspec.Misspeculation
+           (Misspec.Eager_conflict
+              { addr = c.Conflict_board.c_addr;
+                earliest_iter = c.Conflict_board.c_earliest_iter })))
 
 let hooks (env : env) w : Hooks.t =
   let cm = env.cm in
@@ -72,13 +96,15 @@ let hooks (env : env) w : Hooks.t =
         charge_instr w (cm.c_private_read * ((size + 7) / 8));
         stats.private_bytes_read <- stats.private_bytes_read + size;
         stats.cyc_private_read <- stats.cyc_private_read + cm.c_private_read;
-        Shadow.access w.w_st.machine Shadow.Read ~addr ~size ~beta:w.w_beta
+        Shadow.access w.w_st.machine Shadow.Read ~addr ~size ~beta:w.w_beta;
+        publish env w Shadow.Read ~addr ~size
       end
       else begin
         charge_instr w (cm.c_private_write * ((size + 7) / 8));
         stats.private_bytes_written <- stats.private_bytes_written + size;
         stats.cyc_private_write <- stats.cyc_private_write + cm.c_private_write;
-        Shadow.access w.w_st.machine Shadow.Write ~addr ~size ~beta:w.w_beta
+        Shadow.access w.w_st.machine Shadow.Write ~addr ~size ~beta:w.w_beta;
+        publish env w Shadow.Write ~addr ~size
       end
     | Heap.Read_only ->
       if not is_read then
@@ -134,8 +160,10 @@ let apply_predictions (env : env) w predictions =
       charge_instr w (cm.c_prediction + cm.base.c_store + cm.c_private_write);
       env.stats.private_bytes_written <- env.stats.private_bytes_written + 8;
       env.stats.cyc_private_write <- env.stats.cyc_private_write + cm.c_private_write;
-      if env.validate then
+      if env.validate then begin
         Shadow.access w.w_st.machine Shadow.Write ~addr ~size:8 ~beta:w.w_beta;
+        publish env w Shadow.Write ~addr ~size:8
+      end;
       Machine.set_int w.w_st.machine addr p.pred_value)
     predictions
 
@@ -148,8 +176,10 @@ let validate_predictions (env : env) w predictions =
       charge_instr w (cm.c_prediction + cm.base.c_load + cm.c_private_read);
       env.stats.private_bytes_read <- env.stats.private_bytes_read + 8;
       env.stats.cyc_private_read <- env.stats.cyc_private_read + cm.c_private_read;
-      if env.validate then
+      if env.validate then begin
         Shadow.access w.w_st.machine Shadow.Read ~addr ~size:8 ~beta:w.w_beta;
+        publish env w Shadow.Read ~addr ~size:8
+      end;
       let v = Machine.get_int w.w_st.machine addr in
       if v <> p.pred_value then
         raise
@@ -294,7 +324,15 @@ let exec_iteration (env : env) w ~var ~init_value ~iter ~interval_start ~body
   | Misspec.Misspeculation r ->
     let delta = w.w_st.cycles - cycles_before in
     w.w_clock <- w.w_clock + delta;
-    raise (Worker_misspec (iter, r))
+    (* The conflict board can pin the violation to an earlier involved
+       iteration than the one that observed it; recovery then
+       re-executes less and resumes sooner. *)
+    let miss =
+      match r with
+      | Misspec.Eager_conflict { earliest_iter; _ } -> min iter earliest_iter
+      | _ -> iter
+    in
+    raise (Worker_misspec (miss, r))
   | Interp.Runtime_error msg ->
     let delta = w.w_st.cycles - cycles_before in
     w.w_clock <- w.w_clock + delta;

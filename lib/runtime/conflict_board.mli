@@ -1,0 +1,49 @@
+(** The eager in-flight conflict board (validation mode [eager]).
+
+    As workers execute, every private access publishes a coarse
+    per-page summary here and is cross-checked against the other
+    workers' summaries; on a coarse page hit the conflict is confirmed
+    precisely against the shadow metadata ({!Shadow.probe}) under the
+    checkpoint merge's own rules, so a confirmed conflict is always
+    one phase 2 would also flag this interval.  Sound but incomplete:
+    no false kills ever, but conflicts whose evidence lives outside
+    current-interval metadata (earlier-interval writes carried only by
+    the merge's word->writer index, live-in marks on pages not dirtied
+    this interval) are left to the commit-time backstop.  See
+    [docs/SPECULATION.md] for the full lifecycle. *)
+
+type t
+
+type conflict = {
+  c_addr : int;
+      (** the conflicting live-in byte, pinned as in phase 2 *)
+  c_earliest_iter : int;
+      (** earliest iteration known involved; recovery resumes after it *)
+}
+
+val create : unit -> t
+(** An empty board: one per parallel invocation. *)
+
+val new_cohort : t -> (int * Privateer_machine.Machine.t) list -> unit
+(** Register a fresh worker cohort (worker id, worker machine) after
+    (re)spawn, discarding all summaries. *)
+
+val new_interval : t -> interval_start:int -> unit
+(** Start a checkpoint interval: summaries reset (committed intervals
+    are the merge's carried index's business) and timestamps decode
+    against the new [interval_start]. *)
+
+val publish :
+  t -> worker:int -> op:Shadow.op -> addr:int -> size:int -> iter:int ->
+  conflict option
+(** Publish one private access, made by [worker] at [iter], right
+    after its [Shadow.access]; returns the first confirmed cross-worker
+    conflict.  Scans bytes in ascending address order and workers in id
+    order, so the verdict is a deterministic function of the simulated
+    execution. *)
+
+val checks : t -> int
+(** Accesses published since [create]. *)
+
+val hits : t -> int
+(** Coarse page hits that ran the precise confirmation. *)

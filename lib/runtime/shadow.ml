@@ -34,6 +34,21 @@ let iteration_of_timestamp ~interval_start m =
   if not (is_timestamp m) then invalid_arg "Shadow.iteration_of_timestamp";
   interval_start + m - first_timestamp
 
+(* Read-only metadata probe for the eager conflict board: the current
+   metadata byte of one private address on one worker machine, plus
+   whether its shadow page is dirty this interval.  The dirty bit is
+   what scopes a probe to the current interval's obligations: marks on
+   clean pages are earlier intervals' business (already validated, or
+   carried by the checkpoint merge's writer index), exactly as in
+   checkpoint extraction, which also scans dirty pages only. *)
+let probe machine ~addr =
+  let mem = machine.Machine.mem in
+  match Memory.find_page mem (Heap.shadow_of_private addr) with
+  | None -> (live_in, false)
+  | Some p ->
+    ( Char.code (Bytes.get (Memory.page_bytes p) (Memory.offset_of_addr addr)),
+      Memory.written_this_interval p )
+
 type op = Shadow_sig.op = Read | Write
 
 type verdict = Keep | Update of int | Fail of (addr:int -> Misspec.reason)

@@ -38,6 +38,15 @@ val is_timestamp : int -> bool
     @raise Invalid_argument if the byte is not a timestamp. *)
 val iteration_of_timestamp : interval_start:int -> int -> int
 
+(** Read-only probe of one private byte's metadata on one worker
+    machine: [(metadata, dirty)] where [metadata] is the current shadow
+    byte ([live_in] when the shadow page is unmapped) and [dirty] is
+    whether that shadow page was written this interval — the same
+    dirty-page scope checkpoint extraction uses.  The eager conflict
+    board ({!Conflict_board}) is the intended caller; the probe never
+    promotes a page or moves a simulated cycle. *)
+val probe : Privateer_machine.Machine.t -> addr:int -> int * bool
+
 (** The two private-access kinds Table 2 distinguishes (re-export of
     {!Shadow_sig.op} so this module satisfies
     {!Shadow_sig.module-type-S} alongside {!Shadow_reference}). *)

@@ -29,6 +29,24 @@ type t = {
   mutable cyc_spawn : int;
   mutable cyc_join : int;
   mutable cyc_recovery : int;
+  (* Eager-validation accounting.  Deterministic within one validation
+     mode (pure functions of the simulated execution, identical at any
+     host-parallelism setting) but *not* part of the cross-mode
+     identity surface: commit mode never kills early, so these — and
+     only these among the simulated counters — legitimately differ
+     between --validation eager and commit.  squashed_iterations is
+     maintained in both modes: it is the wasted-work metric the two
+     modes are compared on. *)
+  mutable eager_kills : int; (* intervals cut short by the conflict board *)
+  mutable eager_checks : int; (* accesses published to the board *)
+  mutable eager_hits : int; (* coarse page hits that ran a precise confirm *)
+  mutable squashed_iterations : int;
+      (* speculative iterations executed inside intervals that were
+         then squashed (their work discarded) — in either mode *)
+  mutable avoided_iterations : int;
+      (* iterations of squashed intervals never executed because an
+         eager kill stopped the interval first: commit mode's waste,
+         saved *)
   (* Wall-clock (simulated cycles) of all parallel invocations. *)
   mutable wall_cycles : int;
   mutable workers : int;
@@ -66,7 +84,9 @@ let create () =
     private_bytes_written = 0; separation_checks = 0; separation_checks_elided = 0;
     misspeculations = 0; recovered_iterations = 0; iterations = 0; cyc_useful = 0;
     cyc_private_read = 0; cyc_private_write = 0; cyc_checkpoint = 0; cyc_spawn = 0;
-    cyc_join = 0; cyc_recovery = 0; wall_cycles = 0; workers = 0;
+    cyc_join = 0; cyc_recovery = 0; eager_kills = 0; eager_checks = 0;
+    eager_hits = 0; squashed_iterations = 0; avoided_iterations = 0;
+    wall_cycles = 0; workers = 0;
     ns_merge_fill = 0.0; ns_merge_validate = 0.0; ns_merge_sweep = 0.0;
     ns_reset = 0.0; ns_extract = 0.0; ns_spawn = 0.0; par_resets = 0;
     seq_resets = 0; par_extracts = 0; seq_extracts = 0; par_merges = 0;

@@ -20,7 +20,11 @@ type loop_stats = {
     ([Executor.config.host_domains]), a property the host-parallel
     test suite asserts — except the [ns_*] host-time accumulators and
     the [par_*]/[seq_*] host-controller decision counters, which are
-    explicitly host-side instrumentation. *)
+    explicitly host-side instrumentation.  The [eager_*] /
+    [squashed_iterations] / [avoided_iterations] fields are simulated
+    and host-deterministic, but differ between the two validation
+    modes by design; the authoritative table of every
+    determinism-contract exemption is in [docs/RUNTIME.md]. *)
 type t = {
   mutable invocations : int;
   mutable checkpoints : int;
@@ -39,6 +43,20 @@ type t = {
   mutable cyc_spawn : int;
   mutable cyc_join : int;
   mutable cyc_recovery : int;
+  mutable eager_kills : int;
+      (** intervals cut short by the eager conflict board.  Like the
+          other [eager_*] fields: deterministic at any host setting,
+          exempt only from the cross-validation-mode identity
+          surface. *)
+  mutable eager_checks : int;  (** accesses published to the board *)
+  mutable eager_hits : int;
+      (** coarse page hits that ran a precise confirm *)
+  mutable squashed_iterations : int;
+      (** speculative iterations executed inside later-squashed
+          intervals (either mode) — the wasted-work metric eager and
+          commit validation are compared on *)
+  mutable avoided_iterations : int;
+      (** iterations of squashed intervals an eager kill skipped *)
   mutable wall_cycles : int;  (** sum over parallel invocations *)
   mutable workers : int;
   mutable ns_merge_fill : float;

@@ -15,4 +15,5 @@ let () =
       ("baselines", Test_baselines.suite);
       ("workloads", Test_workloads.suite);
       ("properties", Test_props.suite);
+      ("eager", Test_eager.suite);
       ("server", Test_server.suite) ]

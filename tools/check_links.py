@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repository's markdown docs.
+
+Scans README.md and docs/*.md for inline markdown links and images
+(``[text](target)``), skips absolute URLs (http/https/mailto) and
+pure in-page anchors (``#...``), resolves everything else relative to
+the containing file, and exits 1 listing every target that does not
+exist.  Anchor fragments on relative links (``RUNTIME.md#host-parallelism``)
+are checked for file existence only — heading slugs are not verified.
+
+Usage: python3 tools/check_links.py  (from the repository root)
+"""
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP = ("http://", "https://", "mailto:")
+
+
+def targets(md: Path):
+    text = md.read_text(encoding="utf-8")
+    # Strip fenced code blocks: link syntax inside them is illustrative.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    for m in LINK.finditer(text):
+        yield m.group(1)
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    files = sorted([root / "README.md", *(root / "docs").glob("*.md")])
+    dead = []
+    checked = 0
+    for md in files:
+        if not md.exists():
+            continue
+        for target in targets(md):
+            if target.startswith(SKIP) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            checked += 1
+            if not (md.parent / path).exists():
+                dead.append(f"{md.relative_to(root)}: dead link -> {target}")
+    for line in dead:
+        print(line, file=sys.stderr)
+    print(f"checked {checked} relative links in {len(files)} files: "
+          f"{'OK' if not dead else f'{len(dead)} dead'}")
+    return 1 if dead else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
