@@ -38,7 +38,7 @@ let table1 () =
           (if probe.privateer_plans then "privatizes" else "no plan");
           (if probe.lrpd_applicable then "applicable" else "inapplicable (layout)");
           (if probe.doall_proves_hot then "proves" else "cannot prove") ])
-    Workloads.all;
+    (Workloads.all ());
   Table.print t
 
 (* ---- Table 2 ----------------------------------------------------------- *)
@@ -104,7 +104,7 @@ let table3 () =
           Table.fbytes par.stats.private_bytes_written; count Privateer_ir.Heap.Private;
           count Privateer_ir.Heap.Short_lived; count Privateer_ir.Heap.Read_only;
           count Privateer_ir.Heap.Redux; count Privateer_ir.Heap.Unrestricted; extras ])
-    Workloads.all;
+    (Workloads.all ());
   Table.print t
 
 (* ---- Figure 2 (narrative) ---------------------------------------------- *)
@@ -150,10 +150,10 @@ let fig6 () =
       Table.add_row t
         (wl.Workload.name
         :: List.map (fun w -> Table.fx (speedup c (matrix_run wl w))) worker_counts))
-    Workloads.all;
+    (Workloads.all ());
   let geo w =
     Stats.geomean
-      (List.map (fun wl -> speedup (compiled wl) (matrix_run wl w)) Workloads.all)
+      (List.map (fun wl -> speedup (compiled wl) (matrix_run wl w)) (Workloads.all ()))
   in
   Table.add_row t ("geomean" :: List.map (fun w -> Table.fx (geo w)) worker_counts);
   Table.print t;
@@ -188,12 +188,12 @@ let fig7 () =
       Table.add_row t
         [ wl.Workload.name; Table.fx d_speedup; Table.fx (speedup c (matrix_run wl 24));
           what ])
-    Workloads.all;
+    (Workloads.all ());
   Table.add_row t
     [ "geomean"; Table.fx (Stats.geomean !doall_speedups);
       Table.fx
         (Stats.geomean
-           (List.map (fun wl -> speedup (compiled wl) (matrix_run wl 24)) Workloads.all));
+           (List.map (fun wl -> speedup (compiled wl) (matrix_run wl 24)) (Workloads.all ())));
       "" ];
   Table.print t;
   print_endline "\npaper: non-speculative parallelization yields 0.93x geomean";
@@ -226,7 +226,7 @@ let fig8 () =
         worker_counts;
       Table.print t;
       print_newline ())
-    Workloads.all
+    (Workloads.all ())
 
 (* ---- Figure 9 ----------------------------------------------------------- *)
 
@@ -253,7 +253,7 @@ let fig9 () =
                let par = run_parallel ?inject:(spaced_injection rate) c in
                Table.fx (speedup c par))
              rates))
-    Workloads.all;
+    (Workloads.all ());
   Table.print t;
   (* Checkpoint-failure framing for one representative program. *)
   let c = compiled Swaptions.workload in
@@ -396,7 +396,7 @@ let ablation () =
       Table.add_row t
         [ wl.Workload.name; Table.fx (speedup c (matrix_run wl 24));
           Table.fx (speedup c serial) ])
-    Workloads.all;
+    (Workloads.all ());
   Table.print t;
 
   section "Ablation: validation disabled (upper bound, unsound)";
@@ -416,7 +416,7 @@ let ablation () =
       Table.add_row t
         [ wl.Workload.name; Table.fx (speedup c (matrix_run wl 24));
           Table.fx (speedup c novalidate) ])
-    Workloads.all;
+    (Workloads.all ());
   Table.print t
 
 (* ---- dispatch ------------------------------------------------------------ *)
@@ -432,7 +432,7 @@ let () =
     List.iter (fun (_, f) -> f ()) experiments;
     print_newline ();
     print_endline
-      "(wall-clock experiments: dune exec bench/main.exe -- micro | overhead | host_parallel | interval_reset | merge | controller | server | eager)"
+      "(wall-clock experiments: dune exec bench/main.exe -- micro | overhead | host_parallel | interval_reset | merge | controller | server | eager | scale)"
   | _ :: [ "micro" ] -> Micro.run ()
   | _ :: names ->
     List.iter
@@ -447,9 +447,10 @@ let () =
         | None when name = "controller" -> Controller.run ()
         | None when name = "server" -> Server.run ()
         | None when name = "eager" -> Eager.run ()
+        | None when name = "scale" -> Scale.run ()
         | None ->
           Printf.eprintf
-            "unknown experiment %s (have: %s, micro, overhead, host_parallel, interval_reset, merge, controller, server, eager)\n"
+            "unknown experiment %s (have: %s, micro, overhead, host_parallel, interval_reset, merge, controller, server, eager, scale)\n"
             name
             (String.concat ", " (List.map fst experiments));
           exit 1)

@@ -2,9 +2,13 @@
    pipelines over one shared pool raise aggregate throughput, and do
    the concurrent runs stay byte-identical to serial?
 
-   A manifest of SERVER_JOBS (default 200) small pipeline jobs —
-   privatizable fill loop + reduction, sizes and worker counts varying
-   per job — runs through four server cells:
+   A stress corpus of SERVER_JOBS (default 500) generated scenarios
+   (Privateer_gen.Scenario_gen.corpus: seeded, so the corpus is
+   reproducible run to run) — loop counts, trip counts, heap
+   footprints, reduction mixes and planted misspeculation rates all
+   varying per job, worker counts varying per slot, every job parsing
+   its own AST (concurrent jobs never share programs) — runs through
+   four server cells:
 
    - `serial`: 1 host core, max_inflight 1 — the reference;
    - `ws-4` / `legacy-4`: the real host, max_inflight 4, each pool
@@ -23,38 +27,35 @@
 open Privateer_support
 module Job_server = Privateer_server.Job_server
 module RC = Privateer_parallel.Runtime_config
+module Scenario_gen = Privateer_gen.Scenario_gen
+module Workload = Privateer_workloads.Workload
 
 let jobs_n () =
   match Sys.getenv_opt "SERVER_JOBS" with
   | Some s -> (try max 2 (int_of_string s) with Failure _ -> 200)
-  | None -> 200
+  | None -> 500
 
-(* One job: fill a private-per-iteration array, then reduce it.  The
-   fill size and salt vary per job so outputs (hence fingerprints)
-   differ job to job; worker counts vary so the jobs are not clones. *)
-let program_src i =
-  let n = 64 + (32 * (i mod 5)) in
-  Printf.sprintf
-    "global out[192];\n\
-     fn main() {\n\
-     \  for (k = 0; k < %d) { out[k] = k * k + %d; }\n\
-     \  var total = 0;\n\
-     \  for (q = 0; q < %d) { total = total + out[q]; }\n\
-     \  print(\"job = %%d\\n\", total);\n\
-     \  return total;\n\
-     }\n"
-    n (i * 7) n
+let corpus_seed = 0xC0FFEE
 
-let specs ~kind ~max_inflight n =
-  List.init n (fun i ->
+(* The corpus is drawn once per process so every cell runs the same
+   scenario sequence; each spec still parses its own AST. *)
+let corpus = lazy (Scenario_gen.corpus ~seed:corpus_seed ~count:(jobs_n ()))
+
+let specs ~kind ~max_inflight =
+  List.mapi
+    (fun i (t : Scenario_gen.t) ->
       let config =
         { RC.default with
           RC.pool_kind = kind; max_inflight; queue_cap = 0;
           workers = 4 + (4 * (i mod 3)); host_domains = 1 }
       in
+      let wl = t.Scenario_gen.sc_workload in
       Job_server.job_spec ~config
+        ~train:(Workload.setup wl Workload.Train)
+        ~run:(Workload.setup wl Workload.Ref)
         ~name:(Printf.sprintf "job%03d" i)
-        (Privateer.Pipeline.parse (program_src i)))
+        (Privateer.Pipeline.parse t.Scenario_gen.sc_source))
+    (Lazy.force corpus)
 
 type cell = {
   label : string;
@@ -84,7 +85,7 @@ let run_cell ~label ?host_cores ~kind ~inflight n =
     { RC.default with RC.pool_kind = kind; max_inflight = inflight }
   in
   let t0 = Clock.now_ns () in
-  let sv = Job_server.run_jobs ?host_cores ~config (specs ~kind ~max_inflight:inflight n) in
+  let sv = Job_server.run_jobs ?host_cores ~config (specs ~kind ~max_inflight:inflight) in
   let wall_s = (Clock.now_ns () -. t0) /. 1e9 in
   let results =
     List.map (fun j -> Job_server.state sv j) (Job_server.jobs sv)

@@ -3,35 +3,33 @@
      privateer list
      privateer plan <workload>
      privateer dump <workload> [--transformed]
-     privateer run <workload> [-w N] [-i ref] [--inject RATE] [--checkpoint K]
+     privateer run <workload> [-w N] [-i ref] [--scale S] [--inject RATE]
      privateer compare <workload> [-w N]
+     privateer gen <spec> [--meta]     -- emit a generated scenario
      privateer file <path.cm> [-w N]   -- full pipeline on a Cmini file
      privateer serve <manifest> [--max-inflight N] [--queue-cap N]
+
+   <workload> is any registry name, including scenario:<spec> — the
+   generated scenario joins the registry and runs like a builtin.
 *)
 
 open Cmdliner
 open Privateer
 open Privateer_workloads
 
+(* Workload names resolve through the shared source loader, so
+   scenario:<spec> works everywhere a workload name does and the
+   unknown-workload error string is the registry's canonical one. *)
 let workload_conv =
   let parse s =
-    match Workloads.find s with
-    | Some w -> Ok w
-    | None ->
-      Error
-        (`Msg
-          (Printf.sprintf "unknown workload %S (try: %s)" s
-             (String.concat ", " (List.map (fun (w : Workload.t) -> w.name) Workloads.all))))
+    match Privateer_gen.Sources.lookup_workload s with
+    | Ok w -> Ok w
+    | Error msg -> Error (`Msg msg)
   in
   Arg.conv (parse, fun fmt (w : Workload.t) -> Format.pp_print_string fmt w.name)
 
 let input_conv =
-  let parse = function
-    | "train" -> Ok Workload.Train
-    | "ref" -> Ok Workload.Ref
-    | "alt" -> Ok Workload.Alt
-    | s -> Error (`Msg (Printf.sprintf "unknown input %S (train|ref|alt)" s))
-  in
+  let parse s = Result.map_error (fun m -> `Msg m) (Workload.input_of_name s) in
   Arg.conv (parse, fun fmt i -> Format.pp_print_string fmt (Workload.input_name i))
 
 let wl_arg = Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WORKLOAD")
@@ -39,6 +37,19 @@ let wl_arg = Arg.(required & pos 0 (some workload_conv) None & info [] ~docv:"WO
 let input_arg =
   Arg.(value & opt input_conv Workload.Ref
        & info [ "i"; "input" ] ~docv:"INPUT" ~doc:"Input set (train|ref|alt).")
+
+let scale_arg =
+  Arg.(value & opt int 1
+       & info [ "scale" ] ~docv:"S"
+           ~doc:"Input scale factor (1 = paper-sized; see each workload's max).")
+
+(* Validate --scale against the workload's cap before running. *)
+let checked_scale (wl : Workload.t) scale =
+  match Workload.check_scale wl scale with
+  | Ok () -> scale
+  | Error msg ->
+    Printf.eprintf "privateer: %s\n" msg;
+    exit 124
 
 let inject_arg =
   Arg.(value & opt float 0.0
@@ -93,10 +104,11 @@ let config ?(inject = 0.0) bindings =
 let list_cmd =
   let run () =
     List.iter
-      (fun (w : Workload.t) -> Printf.printf "%-14s %s\n" w.name w.description)
-      Workloads.all
+      (fun (w : Workload.t) ->
+        Printf.printf "%-14s (scale 1..%d) %s\n" w.name w.max_scale w.description)
+      (Workloads.all ())
   in
-  Cmd.v (Cmd.info "list" ~doc:"List the evaluation workloads")
+  Cmd.v (Cmd.info "list" ~doc:"List the registered workloads")
     Term.(const run $ const ())
 
 let plan_cmd =
@@ -253,13 +265,16 @@ let report_run ~seq ~(par : Pipeline.par_run) ~fallbacks =
     b.useful b.private_read b.private_write b.checkpoint b.spawn_join
 
 let run_cmd =
-  let run wl bindings input inject json =
+  let run wl bindings input scale inject json =
+    let scale = checked_scale wl scale in
     let program = Workload.program wl in
-    let tr, _ = Pipeline.compile ~setup:(Workload.setup wl Train) program in
-    let seq = Pipeline.run_sequential ~setup:(Workload.setup wl input) program in
+    let tr, _ = Pipeline.compile ~setup:(Workload.setup ~scale wl Train) program in
+    let seq =
+      Pipeline.run_sequential ~setup:(Workload.setup ~scale wl input) program
+    in
     let cfg = config ~inject bindings in
     let par =
-      Pipeline.run_parallel ~setup:(Workload.setup wl input) ~config:cfg tr
+      Pipeline.run_parallel ~setup:(Workload.setup ~scale wl input) ~config:cfg tr
     in
     if json then
       print_endline
@@ -268,23 +283,29 @@ let run_cmd =
     else report_run ~seq ~par ~fallbacks:par.fallbacks
   in
   Cmd.v (Cmd.info "run" ~doc:"Profile, privatize and run a workload in parallel")
-    Term.(const run $ wl_arg $ bindings_term $ input_arg $ inject_arg $ json_arg)
+    Term.(const run $ wl_arg $ bindings_term $ input_arg $ scale_arg $ inject_arg
+          $ json_arg)
 
 let compare_cmd =
-  let run wl bindings =
+  let run wl bindings scale =
+    let scale = checked_scale wl scale in
     let program = Workload.program wl in
-    let profiler, _ = Pipeline.profile ~setup:(Workload.setup wl Train) program in
-    let tr, _ = Pipeline.compile ~setup:(Workload.setup wl Train) program in
-    let seq = Pipeline.run_sequential ~setup:(Workload.setup wl Ref) program in
+    let profiler, _ =
+      Pipeline.profile ~setup:(Workload.setup ~scale wl Train) program
+    in
+    let tr, _ = Pipeline.compile ~setup:(Workload.setup ~scale wl Train) program in
+    let seq =
+      Pipeline.run_sequential ~setup:(Workload.setup ~scale wl Ref) program
+    in
     let cfg = config bindings in
     let workers = cfg.RC.workers in
     let par =
-      Pipeline.run_parallel ~setup:(Workload.setup wl Ref) ~config:cfg tr
+      Pipeline.run_parallel ~setup:(Workload.setup ~scale wl Ref) ~config:cfg tr
     in
     let report = Privateer_baselines.Doall_only.select program profiler in
     let dst, _, _ =
       Privateer_baselines.Doall_only.run ~workers program report
-        ~setup:(Workload.setup wl Ref)
+        ~setup:(Workload.setup ~scale wl Ref)
     in
     Printf.printf "%-14s sequential: %d cycles\n" wl.name seq.seq_cycles;
     Printf.printf "  DOALL-only : %.2fx (%d provable loops)\n"
@@ -295,21 +316,92 @@ let compare_cmd =
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Privateer vs the non-speculative DOALL-only baseline")
-    Term.(const run $ wl_arg $ bindings_term)
+    Term.(const run $ wl_arg $ bindings_term $ scale_arg)
 
+(* privateer file <src>: the full pipeline on any loader source — a
+   bare path, file:<path>, workload:<name> or scenario:<spec> — via
+   the same Sources interface the jobs manifest uses, so both report
+   identical errors. *)
 let file_cmd =
-  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cm") in
-  let run path bindings =
-    let source = In_channel.with_open_text path In_channel.input_all in
-    let program = Pipeline.parse source in
-    let tr, _ = Pipeline.compile program in
-    let seq = Pipeline.run_sequential program in
-    let par = Pipeline.run_parallel ~config:(config bindings) tr in
+  let src_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"SOURCE") in
+  let run src bindings =
+    let src = if String.contains src ':' then src else "file:" ^ src in
+    let source =
+      match Privateer_gen.Sources.parse src with
+      | Ok s -> s
+      | Error msg ->
+        Printf.eprintf "privateer: %s\n" msg;
+        exit 124
+    in
+    let program = source.Privateer_gen.Sources.src_fresh () in
+    let train, runset =
+      match source.Privateer_gen.Sources.src_workload with
+      | Some wl -> (Workload.setup wl Train, Workload.setup wl Ref)
+      | None -> (Pipeline.no_setup, Pipeline.no_setup)
+    in
+    let tr, _ = Pipeline.compile ~setup:train program in
+    let seq = Pipeline.run_sequential ~setup:runset program in
+    let par = Pipeline.run_parallel ~setup:runset ~config:(config bindings) tr in
     print_string par.par_output;
     report_run ~seq ~par ~fallbacks:par.fallbacks
   in
-  Cmd.v (Cmd.info "file" ~doc:"Run the full pipeline on a Cmini source file")
-    Term.(const run $ path $ bindings_term)
+  Cmd.v
+    (Cmd.info "file"
+       ~doc:
+         "Run the full pipeline on a source (a Cmini file path, file:<path>, \
+          workload:<name> or scenario:<spec>)")
+    Term.(const run $ src_arg $ bindings_term)
+
+(* privateer gen <spec>: emit a generated scenario — the Cmini source
+   on stdout, or with --meta a JSON object carrying the canonical
+   spec, the expected classification and the planted-conflict shape
+   (the oracle side of the corpus). *)
+let gen_cmd =
+  let spec_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"SPEC"
+             ~doc:"Comma-separated knobs, e.g. seed=7,trip=96,misspec=0.1.")
+  in
+  let meta_arg =
+    Arg.(value & flag
+         & info [ "meta" ] ~doc:"Emit JSON metadata (oracle) instead of source.")
+  in
+  let run spec meta =
+    match Privateer_gen.Scenario_gen.knobs_of_spec spec with
+    | Error msg ->
+      Printf.eprintf "privateer gen: %s\n" msg;
+      exit 124
+    | Ok knobs ->
+      let sc = Privateer_gen.Scenario_gen.generate knobs in
+      if not meta then print_string sc.sc_source
+      else
+        let open Privateer_support.Json in
+        let e = sc.sc_expect in
+        print_endline
+          (to_string
+             (Obj
+                [ ("name", String sc.sc_name);
+                  ( "spec",
+                    String (Privateer_gen.Scenario_gen.spec_of_knobs sc.sc_knobs) );
+                  ( "expect",
+                    Obj
+                      [ ( "private",
+                          List (List.map (fun s -> String s) e.x_private) );
+                        ("redux", List (List.map (fun s -> String s) e.x_redux));
+                        ( "readonly",
+                          List (List.map (fun s -> String s) e.x_readonly) );
+                        ("hot_loops", Int e.x_hot_loops) ] );
+                  ( "conflict_period",
+                    match sc.sc_conflict_period with Some m -> Int m | None -> Null );
+                  ( "conflict_offsets",
+                    List (List.map (fun o -> Int o) sc.sc_conflict_offsets) ) ]))
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:
+         "Generate a synthetic Cmini scenario from a knob spec (seed, loops, trip, \
+          heap, reuse, redux, misspec)")
+    Term.(const run $ spec_arg $ meta_arg)
 
 (* privateer serve <manifest>: run every job in the manifest through
    the job server — many concurrent speculative pipelines multiplexed
@@ -354,4 +446,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "privateer" ~doc)
-          [ list_cmd; plan_cmd; dump_cmd; run_cmd; compare_cmd; file_cmd; serve_cmd ]))
+          [ list_cmd; plan_cmd; dump_cmd; run_cmd; compare_cmd; gen_cmd; file_cmd;
+            serve_cmd ]))

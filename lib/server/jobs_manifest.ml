@@ -3,12 +3,18 @@
    One job per line (nothing in the system parses JSON — Json.mli is
    emission-only — so the manifest is a line format):
 
-     <name> workload:<wl> [input=train|ref|alt] [train=train|ref|alt]
-                          [baseline] [repeat=N] [<knob>=<value> ...]
-     <name> file:<path.cm> [baseline] [repeat=N] [<knob>=<value> ...]
+     <name> workload:<wl>    [input=train|ref|alt] [train=train|ref|alt]
+                             [scale=N] [baseline] [repeat=N] [<knob>=<value> ...]
+     <name> scenario:<spec>  [same options as workload:]
+     <name> file:<path.cm>   [baseline] [repeat=N] [<knob>=<value> ...]
 
-   `#` starts a comment; blank lines are skipped.  <knob> is any
-   Runtime_config CLI binding name (workers, checkpoint, schedule,
+   `#` starts a comment; blank lines are skipped.  All three source
+   kinds resolve through the shared loader (Privateer_gen.Sources), so
+   the CLI and the server report identical errors — here each wrapped
+   with its line number.  A scenario:<spec> (see docs/SCENARIOS.md) is
+   generated on first use and registered as a first-class workload;
+   `scale=N` picks the workload's large-input scale factor.  <knob> is
+   any Runtime_config CLI binding name (workers, checkpoint, schedule,
    pool-kind, ...), applied over the server's base config — the same
    single table that feeds the CLI flags, so every engine knob is
    expressible per job with no manifest change.  `repeat=N` expands
@@ -17,16 +23,16 @@
    `file:` paths are resolved against the manifest's directory. *)
 
 module RC = Privateer_parallel.Runtime_config
+module Sources = Privateer_gen.Sources
 open Privateer_workloads
 
 let fail ~lineno fmt =
   Printf.ksprintf (fun msg -> failwith (Printf.sprintf "line %d: %s" lineno msg)) fmt
 
-let input_of_string ~lineno = function
-  | "train" -> Workload.Train
-  | "ref" -> Workload.Ref
-  | "alt" -> Workload.Alt
-  | s -> fail ~lineno "unknown input %S (train|ref|alt)" s
+let input_of_string ~lineno s =
+  match Workload.input_of_name s with
+  | Ok i -> i
+  | Error msg -> fail ~lineno "%s" msg
 
 (* The per-job engine knobs reuse the CLI's binding table: key=value
    pairs resolve by flag name and fold over the base config. *)
@@ -35,45 +41,36 @@ let find_binding key =
 
 type parsed_line = {
   p_name : string;
-  p_program : unit -> Privateer_ir.Ast.program; (* fresh AST per call *)
-  mutable p_train : Privateer.Pipeline.setup;
-  mutable p_run : Privateer.Pipeline.setup;
-  p_workload : Workload.t option;
+  p_source : Sources.t;
+  mutable p_train : Workload.input;
+  mutable p_run : Workload.input;
+  mutable p_scale : int;
   mutable p_config : RC.t;
   mutable p_baseline : bool;
   mutable p_repeat : int;
 }
 
-let parse_source ~lineno ~dir src =
-  match String.index_opt src ':' with
-  | None -> fail ~lineno "job source must be workload:<name> or file:<path>, got %S" src
-  | Some i -> (
-    let kind = String.sub src 0 i in
-    let arg = String.sub src (i + 1) (String.length src - i - 1) in
-    match kind with
-    | "workload" -> (
-      match Workloads.find arg with
-      | Some wl -> ((fun () -> Workload.program wl), Some wl)
-      | None ->
-        fail ~lineno "unknown workload %S (have: %s)" arg
-          (String.concat ", " (List.map (fun (w : Workload.t) -> w.name) Workloads.all)))
-    | "file" ->
-      let path = if Filename.is_relative arg then Filename.concat dir arg else arg in
-      if not (Sys.file_exists path) then fail ~lineno "no such file %S" path;
-      let source = In_channel.with_open_text path In_channel.input_all in
-      ((fun () -> Privateer.Pipeline.parse source), None)
-    | k -> fail ~lineno "unknown job source kind %S (workload|file)" k)
+let require_workload ~lineno p key =
+  match p.p_source.Sources.src_workload with
+  | Some wl -> wl
+  | None -> fail ~lineno "%s= only applies to workload: and scenario: jobs" key
 
 let apply_option ~lineno p key value =
   match (key, value) with
-  | "input", Some v -> (
-    match p.p_workload with
-    | Some wl -> p.p_run <- Workload.setup wl (input_of_string ~lineno v)
-    | None -> fail ~lineno "input= only applies to workload: jobs")
-  | "train", Some v -> (
-    match p.p_workload with
-    | Some wl -> p.p_train <- Workload.setup wl (input_of_string ~lineno v)
-    | None -> fail ~lineno "train= only applies to workload: jobs")
+  | "input", Some v ->
+    let _ = require_workload ~lineno p "input" in
+    p.p_run <- input_of_string ~lineno v
+  | "train", Some v ->
+    let _ = require_workload ~lineno p "train" in
+    p.p_train <- input_of_string ~lineno v
+  | "scale", Some v -> (
+    let wl = require_workload ~lineno p "scale" in
+    match int_of_string_opt v with
+    | None -> fail ~lineno "scale: expected an integer, got %S" v
+    | Some s -> (
+      match Workload.check_scale wl s with
+      | Ok () -> p.p_scale <- s
+      | Error msg -> fail ~lineno "%s" msg))
   | "baseline", None -> p.p_baseline <- true
   | "baseline", Some v -> (
     match bool_of_string_opt v with
@@ -99,20 +96,17 @@ let apply_option ~lineno p key value =
 
 let parse_job_line ~base ~dir ~lineno line =
   match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
-  | [] | [ _ ] -> fail ~lineno "expected: <name> workload:<wl>|file:<path> [options]"
+  | [] | [ _ ] -> fail ~lineno "expected: <name> <kind>:<arg> [options] (%s)" Sources.kinds
   | name :: src :: options ->
-    let program, workload = parse_source ~lineno ~dir src in
+    let source =
+      match Sources.parse ~dir src with
+      | Ok s -> s
+      | Error msg -> fail ~lineno "%s" msg
+    in
     let p =
-      { p_name = name; p_program = program;
-        p_train =
-          (match workload with
-          | Some wl -> Workload.setup wl Workload.Train
-          | None -> Privateer.Pipeline.no_setup);
-        p_run =
-          (match workload with
-          | Some wl -> Workload.setup wl Workload.Ref
-          | None -> Privateer.Pipeline.no_setup);
-        p_workload = workload; p_config = base; p_baseline = false; p_repeat = 1 }
+      { p_name = name; p_source = source; p_train = Workload.Train;
+        p_run = Workload.Ref; p_scale = 1; p_config = base; p_baseline = false;
+        p_repeat = 1 }
     in
     List.iter
       (fun opt ->
@@ -122,14 +116,21 @@ let parse_job_line ~base ~dir ~lineno line =
             (Some (String.sub opt (i + 1) (String.length opt - i - 1)))
         | None -> apply_option ~lineno p opt None)
       options;
+    let train, run =
+      match p.p_source.Sources.src_workload with
+      | Some wl ->
+        ( Workload.setup ~scale:p.p_scale wl p.p_train,
+          Workload.setup ~scale:p.p_scale wl p.p_run )
+      | None -> (Privateer.Pipeline.no_setup, Privateer.Pipeline.no_setup)
+    in
     List.init p.p_repeat (fun k ->
         let name =
           if p.p_repeat = 1 then p.p_name
           else Printf.sprintf "%s#%d" p.p_name (k + 1)
         in
-        Job_server.job_spec ~train:p.p_train ~run:p.p_run ~config:p.p_config
-          ~baseline:p.p_baseline ~name
-          (p.p_program ()))
+        Job_server.job_spec ~train ~run ~config:p.p_config ~baseline:p.p_baseline
+          ~name
+          (p.p_source.Sources.src_fresh ()))
 
 (* Parse manifest text; [dir] anchors relative file: paths.
    @raise Failure with a line number on malformed lines. *)

@@ -14,7 +14,7 @@
 let n_in = 16
 let n_hid = 12
 let n_out = 4
-let max_patterns = 256
+let max_patterns = 512
 
 let source =
   Printf.sprintf
@@ -147,13 +147,16 @@ fn main() {
     (n_hid * n_out)
 (* main *)
 
+(* Scaling: the pattern set grows with scale (ref 96..384 under the
+   max_patterns=512 input arrays); epoch counts stay fixed so the hot
+   loop's trip count and the read-only footprint both scale. *)
 let workload : Workload.t =
-  { name = "052.alvinn";
-    description = "SPEC 052.alvinn: pattern loop with private stack arrays and delta reductions";
-    source;
-    params =
-      (function
-      | Workload.Train -> [ ("npatterns", 24); ("nepochs", 2); ("seed", 17) ]
-      | Workload.Ref -> [ ("npatterns", 96); ("nepochs", 24); ("seed", 20202) ]
-      | Workload.Alt -> [ ("npatterns", 64); ("nepochs", 4); ("seed", 51) ]);
-    paper_extras = [] }
+  Workload.make ~name:"052.alvinn"
+    ~description:
+      "SPEC 052.alvinn: pattern loop with private stack arrays and delta reductions"
+    ~source ~max_scale:4
+    (fun input ~scale ->
+      match input with
+      | Workload.Train -> [ ("npatterns", 24 + (8 * (scale - 1))); ("nepochs", 2); ("seed", 17) ]
+      | Workload.Ref -> [ ("npatterns", 96 * scale); ("nepochs", 24); ("seed", 20202) ]
+      | Workload.Alt -> [ ("npatterns", 64 + (16 * (scale - 1))); ("nepochs", 4); ("seed", 51) ])

@@ -138,13 +138,17 @@ fn main() {
     max_options max_options max_options max_options max_options max_options
     max_options
 
+(* Scaling: the option table grows with scale; ref hits the
+   max_options=1024 arrays exactly at scale 4.  Run counts stay fixed
+   so per-iteration work (and the privatized prices footprint) grows. *)
 let workload : Workload.t =
-  { name = "blackscholes";
-    description = "PARSEC blackscholes: outer pricing loop with output deps on a pointer-reached array";
-    source;
-    params =
-      (function
-      | Workload.Train -> [ ("numoptions", 64); ("numruns", 6); ("seed", 11) ]
-      | Workload.Ref -> [ ("numoptions", 256); ("numruns", 96); ("seed", 4242) ]
-      | Workload.Alt -> [ ("numoptions", 128); ("numruns", 24); ("seed", 77) ]);
-    paper_extras = [ "Value" ] }
+  Workload.make ~name:"blackscholes"
+    ~description:
+      "PARSEC blackscholes: outer pricing loop with output deps on a pointer-reached array"
+    ~source ~max_scale:4
+    ~paper_extras:[ "Value" ]
+    (fun input ~scale ->
+      match input with
+      | Workload.Train -> [ ("numoptions", 64 * scale); ("numruns", 6); ("seed", 11) ]
+      | Workload.Ref -> [ ("numoptions", 256 * scale); ("numruns", 96); ("seed", 4242) ]
+      | Workload.Alt -> [ ("numoptions", 128 + (64 * (scale - 1))); ("numruns", 24); ("seed", 77) ])

@@ -113,12 +113,15 @@ fn main() {
 |}
     (max_n * max_n) max_n
 
+(* Scaling: nnodes grows linearly per scale step; ref reaches the
+   max_n=128 graph cap exactly at scale 4 (cost grows ~n^3). *)
 let workload : Workload.t =
-  { name = "dijkstra"; description = "MiBench dijkstra: repeated SSSP with a reused work queue";
-    source;
-    params =
-      (function
-      | Workload.Train -> [ ("nnodes", 14); ("seed", 7) ]
-      | Workload.Ref -> [ ("nnodes", 48); ("seed", 12345) ]
-      | Workload.Alt -> [ ("nnodes", 24); ("seed", 999) ]);
-    paper_extras = [ "Value"; "Control"; "I/O" ] }
+  Workload.make ~name:"dijkstra"
+    ~description:"MiBench dijkstra: repeated SSSP with a reused work queue" ~source
+    ~max_scale:4
+    ~paper_extras:[ "Value"; "Control"; "I/O" ]
+    (fun input ~scale ->
+      match input with
+      | Workload.Train -> [ ("nnodes", 14 + (6 * (scale - 1))); ("seed", 7) ]
+      | Workload.Ref -> [ ("nnodes", 48 + (16 * (scale - 1))); ("seed", 12345) ]
+      | Workload.Alt -> [ ("nnodes", 24 + (8 * (scale - 1))); ("seed", 999) ])

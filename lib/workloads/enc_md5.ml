@@ -8,7 +8,7 @@
    short-lived, defers the I/O, and control-speculates the never-taken
    input-validation path (paper Table 3: Control, I/O). *)
 
-let max_data_words = 4096 (* 32 KiB of message data *)
+let max_data_words = 16384 (* 128 KiB of message data *)
 
 let source =
   Printf.sprintf
@@ -150,13 +150,17 @@ fn main() {
 |}
     max_data_words
 
+(* Scaling: more datasets per run with a fixed per-set size; ref at
+   scale 4 digests 640 x 200 = 128000 bytes, just under the
+   max_data_words=16384 (128 KiB) message buffer. *)
 let workload : Workload.t =
-  { name = "enc-md5";
-    description = "Trimaran enc-md5: MD5 digests with a reused state object and per-digest buffer";
-    source;
-    params =
-      (function
-      | Workload.Train -> [ ("ndatasets", 10); ("dsize", 120); ("seed", 23) ]
-      | Workload.Ref -> [ ("ndatasets", 160); ("dsize", 200); ("seed", 777) ]
-      | Workload.Alt -> [ ("ndatasets", 32); ("dsize", 56); ("seed", 91) ]);
-    paper_extras = [ "Control"; "I/O" ] }
+  Workload.make ~name:"enc-md5"
+    ~description:
+      "Trimaran enc-md5: MD5 digests with a reused state object and per-digest buffer"
+    ~source ~max_scale:4
+    ~paper_extras:[ "Control"; "I/O" ]
+    (fun input ~scale ->
+      match input with
+      | Workload.Train -> [ ("ndatasets", 10 + (6 * (scale - 1))); ("dsize", 120); ("seed", 23) ]
+      | Workload.Ref -> [ ("ndatasets", 160 * scale); ("dsize", 200); ("seed", 777) ]
+      | Workload.Alt -> [ ("ndatasets", 32 * scale); ("dsize", 56); ("seed", 91) ])

@@ -9,7 +9,7 @@
    Static analysis cannot prove the loop parallel (pointer
    indirection), so the non-speculative baseline leaves it alone. *)
 
-let max_swaptions = 512
+let max_swaptions = 2048
 
 let source =
   Printf.sprintf
@@ -115,13 +115,18 @@ fn main() {
 |}
     max_swaptions max_swaptions
 
+(* Scaling: more swaptions per run (ref 384..1536 under the
+   max_swaptions=2048 params/results tables); every extra iteration
+   allocates and frees its own linked matrices, so the short-lived
+   heap traffic scales with the trip count. *)
 let workload : Workload.t =
-  { name = "swaptions";
-    description = "PARSEC swaptions: per-iteration linked matrices (short-lived) plus private scratch";
-    source;
-    params =
-      (function
-      | Workload.Train -> [ ("nswaptions", 12); ("ntrials", 1); ("seed", 3) ]
-      | Workload.Ref -> [ ("nswaptions", 384); ("ntrials", 1); ("seed", 31337) ]
-      | Workload.Alt -> [ ("nswaptions", 48); ("ntrials", 1); ("seed", 5) ]);
-    paper_extras = [ "Value"; "Control" ] }
+  Workload.make ~name:"swaptions"
+    ~description:
+      "PARSEC swaptions: per-iteration linked matrices (short-lived) plus private scratch"
+    ~source ~max_scale:4
+    ~paper_extras:[ "Value"; "Control" ]
+    (fun input ~scale ->
+      match input with
+      | Workload.Train -> [ ("nswaptions", 12 * scale); ("ntrials", 1); ("seed", 3) ]
+      | Workload.Ref -> [ ("nswaptions", 384 * scale); ("ntrials", 1); ("seed", 31337) ]
+      | Workload.Alt -> [ ("nswaptions", 48 * scale); ("ntrials", 1); ("seed", 5) ])

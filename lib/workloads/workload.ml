@@ -1,23 +1,67 @@
 (* Workload plumbing: each benchmark is a Cmini program plus input
    parameterizations (train for profiling, ref for evaluation, alt for
-   the profile-stability check the paper performs). *)
+   the profile-stability check the paper performs).
+
+   Parameterizations are scale-aware: [params input ~scale] returns the
+   scalar globals for the given input at a scale factor.  Scale 1 is
+   the paper-sized (scaled-down) input; higher scales grow both the
+   iteration count and the touched heap footprint strictly, up to
+   [max_scale] (bounded by each program's compile-time array sizes).
+
+   The parsed AST is cached per workload instance ([program] parses
+   once); [fresh_program] re-parses for consumers that must not share
+   an AST across concurrent runs (the job server's repeat=N jobs). *)
 
 type input = Train | Ref | Alt
 
 let input_name = function Train -> "train" | Ref -> "ref" | Alt -> "alt"
 
+let input_of_name = function
+  | "train" -> Ok Train
+  | "ref" -> Ok Ref
+  | "alt" -> Ok Alt
+  | s -> Error (Printf.sprintf "unknown input %S (train|ref|alt)" s)
+
 type t = {
   name : string;
   description : string;
   source : string;
-  (* Scalar globals to set for each input. *)
-  params : input -> (string * int) list;
+  (* Scalar globals to set for each input at a given scale factor. *)
+  params : input -> scale:int -> (string * int) list;
+  (* Largest scale with strict cycle/footprint growth (array caps). *)
+  max_scale : int;
   (* What the paper's Table 3 lists under "Extras" for this program. *)
   paper_extras : string list;
+  (* Parse-once AST cache; [fresh_program] bypasses it. *)
+  cache : Privateer_ir.Ast.program option ref;
 }
 
-let program t = Privateer.Pipeline.parse t.source
+let make ?(max_scale = 1) ?(paper_extras = []) ~name ~description ~source params =
+  { name; description; source; params; max_scale; paper_extras; cache = ref None }
 
-let setup t input : Privateer.Pipeline.setup =
- fun st ->
-  List.iter (fun (g, v) -> Privateer.Pipeline.set_global st g v) (t.params input)
+let program t =
+  match !(t.cache) with
+  | Some p -> p
+  | None ->
+    let p = Privateer.Pipeline.parse t.source in
+    t.cache := Some p;
+    p
+
+(* A fresh AST per call: concurrent pipelines must never share one. *)
+let fresh_program t = Privateer.Pipeline.parse t.source
+
+let check_scale t scale =
+  if scale < 1 then Error (Printf.sprintf "scale must be >= 1, got %d" scale)
+  else if scale > t.max_scale then
+    Error
+      (Printf.sprintf "workload %S supports scale 1..%d, got %d" t.name t.max_scale
+         scale)
+  else Ok ()
+
+let params ?(scale = 1) t input =
+  (match check_scale t scale with Ok () -> () | Error msg -> invalid_arg msg);
+  t.params input ~scale
+
+let setup ?(scale = 1) t input : Privateer.Pipeline.setup =
+  let ps = params ~scale t input in
+  fun st -> List.iter (fun (g, v) -> Privateer.Pipeline.set_global st g v) ps

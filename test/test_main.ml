@@ -16,4 +16,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("properties", Test_props.suite);
       ("eager", Test_eager.suite);
-      ("server", Test_server.suite) ]
+      ("server", Test_server.suite);
+      ("gen", Test_gen.suite) ]

@@ -271,6 +271,54 @@ let test_manifest_parse () =
   bad_line "x workload:dijkstra frobnicate=3\n" "unknown option rejected";
   bad_line "x workload:dijkstra workers=banana\n" "bad knob value rejected"
 
+(* scenario: and scale= in the manifest, plus the shared loader's
+   line-numbered error surface. *)
+let test_manifest_scenarios () =
+  let specs =
+    Jobs_manifest.parse ~base:RC.default
+      "gen scenario:seed=3,trip=24,misspec=0.1 input=alt scale=2 repeat=2 workers=6\n"
+  in
+  (match specs with
+  | [ a; b ] ->
+    check "repeat names" true
+      (a.Job_server.js_name = "gen#1" && b.Job_server.js_name = "gen#2");
+    check_int "workers knob applied" 6 a.Job_server.js_config.RC.workers;
+    check "repeats never share an AST" true
+      (a.Job_server.js_program != b.Job_server.js_program)
+  | specs -> Alcotest.fail (Printf.sprintf "expected 2 specs, got %d" (List.length specs)));
+  let contains s frag =
+    let ls = String.length s and lf = String.length frag in
+    let rec go i = i + lf <= ls && (String.sub s i lf = frag || go (i + 1)) in
+    go 0
+  in
+  let bad text frag =
+    match Jobs_manifest.parse ~base:RC.default text with
+    | _ -> Alcotest.fail (Printf.sprintf "manifest %S accepted" text)
+    | exception Failure m ->
+      check (Printf.sprintf "%S -> %s" text frag) true (contains m frag)
+  in
+  bad "x scenario:trip=banana\n" "expected an integer";
+  bad "x scenario:zap=1\n" "unknown scenario knob";
+  bad "x scenario:seed=1,loops=99\n" "loops must be in 1..8";
+  bad "x workload:dijkstra scale=0\n" "scale must be >= 1";
+  bad "x workload:dijkstra scale=9\n" "supports scale 1..";
+  bad "x zap:foo\n" "unknown job source kind";
+  bad "x dijkstra input=ref\n" "job source must be";
+  (* Errors carry the 1-based manifest line number. *)
+  (match Jobs_manifest.parse ~base:RC.default "# fine\nx scenario:zap=1\n" with
+  | _ -> Alcotest.fail "bad second line accepted"
+  | exception Failure m -> check "line number prefix" true (contains m "line 2:"));
+  (* scale= is a workload/scenario option; file: jobs reject it. *)
+  let path = Filename.temp_file "manifest_scale" ".cm" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          output_string oc "fn main() { print 1; }\n");
+      bad
+        (Printf.sprintf "x file:%s scale=2\n" path)
+        "scale= only applies")
+
 (* The example manifest stays loadable: `privateer serve
    examples/jobs.manifest` must work out of the box. *)
 let test_example_manifest_loads () =
@@ -308,5 +356,7 @@ let suite =
         test_bounded_queue_inline;
       Alcotest.test_case "manifest: parse, repeat, knobs, errors" `Quick
         test_manifest_parse;
+      Alcotest.test_case "manifest: scenario jobs, scale, line errors" `Quick
+        test_manifest_scenarios;
       Alcotest.test_case "example manifest loads" `Quick
         test_example_manifest_loads ]

@@ -52,14 +52,14 @@ let test_all_parse_and_validate () =
       let program = Workload.program wl in
       check (wl.Workload.name ^ " validates") true
         (Privateer_ir.Validate.check program = []))
-    Workloads.all
+    (Workloads.all ())
 
 let test_all_plan_hot_loop () =
   List.iter
     (fun wl ->
       let _, tr, _ = compile wl in
       check (wl.Workload.name ^ " has a plan") true (tr.selection.plans <> []))
-    Workloads.all
+    (Workloads.all ())
 
 let test_dijkstra_assignment_shape () =
   (* Paper Figure 4: Q and pathcost private, nodes short-lived, adj
@@ -155,7 +155,7 @@ let test_outputs_equivalent_alt_input () =
         (outputs_equivalent seq.seq_output par.par_output);
       check (wl.Workload.name ^ " no misspeculation") true
         (par.stats.misspeculations = 0))
-    Workloads.all
+    (Workloads.all ())
 
 let test_profile_stability_alt () =
   (* The paper: profiling with a third input (alt) generates identical
@@ -171,13 +171,103 @@ let test_profile_stability_alt () =
       let m1 = List.sort compare tr1.manifest.site_heap in
       let m2 = List.sort compare tr2.manifest.site_heap in
       check (wl.Workload.name ^ " same heap assignment") true (m1 = m2))
-    Workloads.all
+    (Workloads.all ())
 
 let test_speedup_on_ref_dijkstra () =
   let seq, par = run_both ~workers:24 ~input:Workload.Ref Dijkstra.workload in
   let speedup = float_of_int seq.seq_cycles /. float_of_int par.par_cycles in
   check "dijkstra speedup > 8x at 24 workers" true (speedup > 8.0);
   check "output identical" true (String.equal seq.seq_output par.par_output)
+
+(* ---- registry + scale API ----------------------------------------------- *)
+
+let test_input_of_name () =
+  List.iter
+    (fun input ->
+      match Workload.input_of_name (Workload.input_name input) with
+      | Ok i -> check ("roundtrip " ^ Workload.input_name input) true (i = input)
+      | Error m -> Alcotest.fail m)
+    [ Workload.Train; Workload.Ref; Workload.Alt ];
+  match Workload.input_of_name "bogus" with
+  | Ok _ -> Alcotest.fail "input_of_name accepted \"bogus\""
+  | Error m ->
+    check "error names the choices" true
+      (String.length m > 0 && m.[String.length m - 1] = ')')
+
+let test_program_caching () =
+  List.iter
+    (fun wl ->
+      check (wl.Workload.name ^ " program parses once") true
+        (Workload.program wl == Workload.program wl);
+      check (wl.Workload.name ^ " fresh_program bypasses the cache") true
+        (Workload.fresh_program wl != Workload.program wl);
+      check (wl.Workload.name ^ " fresh_program is fresh each call") true
+        (Workload.fresh_program wl != Workload.fresh_program wl))
+    (Workloads.all ())
+
+let test_check_scale_errors () =
+  List.iter
+    (fun wl ->
+      (match Workload.check_scale wl 0 with
+      | Ok () -> Alcotest.fail (wl.Workload.name ^ ": scale 0 accepted")
+      | Error m ->
+        check (wl.Workload.name ^ " scale-0 message") true
+          (String.length m >= 17 && String.sub m 0 17 = "scale must be >= "));
+      match Workload.check_scale wl (wl.Workload.max_scale + 1) with
+      | Ok () -> Alcotest.fail (wl.Workload.name ^ ": scale beyond max accepted")
+      | Error _ -> ())
+    (Workloads.all ());
+  match Workload.params ~scale:99 Dijkstra.workload Workload.Ref with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "params ~scale:99 did not raise"
+
+let test_scale_monotonic_cycles () =
+  (* The --scale contract on the train input (ref-input growth is the
+     bench `scale` experiment's gate): sequential cycles must grow
+     strictly with the scale factor on every port. *)
+  List.iter
+    (fun wl ->
+      let program = Workload.program wl in
+      let cycles =
+        List.init (min 3 wl.Workload.max_scale) (fun i ->
+            let s = i + 1 in
+            let seq =
+              Pipeline.run_sequential ~setup:(Workload.setup ~scale:s wl Workload.Train)
+                program
+            in
+            seq.seq_cycles)
+      in
+      let rec strictly = function
+        | a :: (b :: _ as rest) -> a < b && strictly rest
+        | _ -> true
+      in
+      check (wl.Workload.name ^ " train cycles grow with scale") true (strictly cycles);
+      check (wl.Workload.name ^ " exposes scale range") true (wl.Workload.max_scale >= 2))
+    (Workloads.all ())
+
+let test_registry () =
+  (match Workloads.lookup "no-such-workload" with
+  | Ok _ -> Alcotest.fail "lookup found a ghost"
+  | Error m ->
+    let has frag =
+      let ls = String.length m and lf = String.length frag in
+      let rec go i = i + lf <= ls && (String.sub m i lf = frag || go (i + 1)) in
+      go 0
+    in
+    check "canonical unknown-workload error" true
+      (has "unknown workload" && has "dijkstra" && has "alvinn"));
+  (match Workloads.register Dijkstra.workload with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "registering over a builtin was allowed");
+  let dummy =
+    Workload.make ~name:"test-registry-dummy" ~description:"registry test"
+      ~source:"fn main() { print 1; }" (fun _ ~scale:_ -> [])
+  in
+  Workloads.register dummy;
+  check "registered workload resolves" true (Workloads.find "test-registry-dummy" <> None);
+  let before = List.length (Workloads.all ()) in
+  Workloads.register dummy;
+  check "re-registration is idempotent" true (List.length (Workloads.all ()) = before)
 
 let suite =
   [ Alcotest.test_case "all workloads parse" `Quick test_all_parse_and_validate;
@@ -188,6 +278,14 @@ let suite =
     Alcotest.test_case "enc-md5: private state" `Quick test_md5_assignment_shape;
     Alcotest.test_case "blackscholes: dynamic prices array" `Quick test_blackscholes_assignment_shape;
     Alcotest.test_case "enc-md5: RFC 1321 empty digest" `Quick test_md5_known_vector;
+    Alcotest.test_case "input names round-trip" `Quick test_input_of_name;
+    Alcotest.test_case "program AST is parse-once cached" `Quick test_program_caching;
+    Alcotest.test_case "check_scale rejects out-of-range" `Quick test_check_scale_errors;
+    Alcotest.test_case "train cycles grow strictly with --scale" `Quick
+      test_scale_monotonic_cycles;
     Alcotest.test_case "par ~ seq on alt inputs" `Slow test_outputs_equivalent_alt_input;
     Alcotest.test_case "profile stability (alt)" `Slow test_profile_stability_alt;
-    Alcotest.test_case "dijkstra ref speedup" `Slow test_speedup_on_ref_dijkstra ]
+    Alcotest.test_case "dijkstra ref speedup" `Slow test_speedup_on_ref_dijkstra;
+    (* Last: registers a dummy into the process-global registry, which
+       Workloads.all-driven tests above must not observe. *)
+    Alcotest.test_case "registry: lookup error, register rules" `Quick test_registry ]
