@@ -432,7 +432,7 @@ let () =
     List.iter (fun (_, f) -> f ()) experiments;
     print_newline ();
     print_endline
-      "(wall-clock experiments: dune exec bench/main.exe -- micro | overhead | host_parallel | interval_reset | merge | controller | server | eager | scale)"
+      "(wall-clock experiments: dune exec bench/main.exe -- micro | overhead | host_parallel | interval_reset | merge | controller | server | eager | scale | profile)"
   | _ :: [ "micro" ] -> Micro.run ()
   | _ :: names ->
     List.iter
@@ -448,9 +448,10 @@ let () =
         | None when name = "server" -> Server.run ()
         | None when name = "eager" -> Eager.run ()
         | None when name = "scale" -> Scale.run ()
+        | None when name = "profile" -> Profile.run ()
         | None ->
           Printf.eprintf
-            "unknown experiment %s (have: %s, micro, overhead, host_parallel, interval_reset, merge, controller, server, eager, scale)\n"
+            "unknown experiment %s (have: %s, micro, overhead, host_parallel, interval_reset, merge, controller, server, eager, scale, profile)\n"
             name
             (String.concat ", " (List.map fst experiments));
           exit 1)

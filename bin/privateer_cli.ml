@@ -166,12 +166,13 @@ let config_json (cfg : RC.t) =
       );
       ("schedule", String (Privateer_parallel.Schedule.to_string cfg.schedule));
       ("validation", String (RC.validation_to_string cfg.validation));
-      ("pool_cap", Int cfg.pool_cap) ]
+      ("pool_cap", Int cfg.pool_cap);
+      ("profilers", List (List.map (fun p -> String p) cfg.profilers)) ]
 
 (* Machine-readable report: the configuration, whole-run numbers,
    every stats counter, the Figure 8 breakdown, and the per-loop
    engine-health table. *)
-let json_report ~config:cfg ~seq ~(par : Pipeline.par_run) ~fallbacks =
+let json_report ~config:cfg ~profile_ns ~seq ~(par : Pipeline.par_run) ~fallbacks =
   let open Privateer_support.Json in
   let stats = par.stats in
   let b = Privateer_runtime.Stats.breakdown stats in
@@ -208,6 +209,10 @@ let json_report ~config:cfg ~seq ~(par : Pipeline.par_run) ~fallbacks =
             ("private_write", Float b.private_write);
             ("checkpoint", Float b.checkpoint); ("spawn_join", Float b.spawn_join);
             ("other", Float b.other) ] );
+      (* Host wall time of the profiling training run — instrumentation
+         like merge_phase_ns, not part of the deterministic simulation
+         (varies run to run; exemption table in docs/RUNTIME.md). *)
+      ("profile_ns", Float profile_ns);
       (* Host wall time per merge phase — instrumentation, not part of
          the deterministic simulation (varies run to run). *)
       ( "merge_phase_ns",
@@ -268,18 +273,22 @@ let run_cmd =
   let run wl bindings input scale inject json =
     let scale = checked_scale wl scale in
     let program = Workload.program wl in
-    let tr, _ = Pipeline.compile ~setup:(Workload.setup ~scale wl Train) program in
+    let cfg = config ~inject bindings in
+    let tr, profiler =
+      Pipeline.compile ~setup:(Workload.setup ~scale wl Train) ~config:cfg program
+    in
     let seq =
       Pipeline.run_sequential ~setup:(Workload.setup ~scale wl input) program
     in
-    let cfg = config ~inject bindings in
     let par =
       Pipeline.run_parallel ~setup:(Workload.setup ~scale wl input) ~config:cfg tr
     in
     if json then
       print_endline
         (Privateer_support.Json.to_string
-           (json_report ~config:cfg ~seq ~par ~fallbacks:par.fallbacks))
+           (json_report ~config:cfg
+              ~profile_ns:(Privateer_profile.Profiler.wall_ns profiler)
+              ~seq ~par ~fallbacks:par.fallbacks))
     else report_run ~seq ~par ~fallbacks:par.fallbacks
   in
   Cmd.v (Cmd.info "run" ~doc:"Profile, privatize and run a workload in parallel")
@@ -290,14 +299,16 @@ let compare_cmd =
   let run wl bindings scale =
     let scale = checked_scale wl scale in
     let program = Workload.program wl in
+    let cfg = config bindings in
     let profiler, _ =
-      Pipeline.profile ~setup:(Workload.setup ~scale wl Train) program
+      Pipeline.profile ~setup:(Workload.setup ~scale wl Train) ~config:cfg program
     in
-    let tr, _ = Pipeline.compile ~setup:(Workload.setup ~scale wl Train) program in
+    let tr, _ =
+      Pipeline.compile ~setup:(Workload.setup ~scale wl Train) ~config:cfg program
+    in
     let seq =
       Pipeline.run_sequential ~setup:(Workload.setup ~scale wl Ref) program
     in
-    let cfg = config bindings in
     let workers = cfg.RC.workers in
     let par =
       Pipeline.run_parallel ~setup:(Workload.setup ~scale wl Ref) ~config:cfg tr
@@ -339,9 +350,10 @@ let file_cmd =
       | Some wl -> (Workload.setup wl Train, Workload.setup wl Ref)
       | None -> (Pipeline.no_setup, Pipeline.no_setup)
     in
-    let tr, _ = Pipeline.compile ~setup:train program in
+    let cfg = config bindings in
+    let tr, _ = Pipeline.compile ~setup:train ~config:cfg program in
     let seq = Pipeline.run_sequential ~setup:runset program in
-    let par = Pipeline.run_parallel ~setup:runset ~config:(config bindings) tr in
+    let par = Pipeline.run_parallel ~setup:runset ~config:cfg tr in
     print_string par.par_output;
     report_run ~seq ~par ~fallbacks:par.fallbacks
   in

@@ -29,18 +29,25 @@ let set_global (st : Interp.t) name v =
 
 let parse = Privateer_lang.Parser.parse_program_exn
 
-(* Profile a training run. *)
-let profile ?(setup = no_setup) program =
+(* Profile a training run.  [config.profilers] selects the profiler
+   set (or the reference oracle); [pool] lets the fast frontend drain
+   event batches on pool domains.  The profiling wall time (run +
+   consumer sync) is stamped on the profiler — reporting only, exempt
+   from the determinism contract. *)
+let profile ?(setup = no_setup) ?(config = Runtime_config.default) ?pool program =
   let st = Interp.create ~cost:Cost.default program in
-  let p = Profiler.create () in
+  let p = Profiler.create ~profilers:config.Runtime_config.profilers ?pool () in
   Profiler.attach p st;
   setup st;
+  let t0 = Privateer_support.Clock.now_ns () in
   ignore (Interp.run_entry st);
+  Profiler.sync p;
+  Profiler.set_wall_ns p (Privateer_support.Clock.now_ns () -. t0);
   (p, st)
 
 (* Profile, select, transform. *)
-let compile ?(setup = no_setup) program =
-  let profiler, _ = profile ~setup program in
+let compile ?(setup = no_setup) ?config ?pool program =
+  let profiler, _ = profile ~setup ?config ?pool program in
   let selection = Selection.select program profiler in
   let result = Transform.apply program profiler selection in
   (result, profiler)
@@ -91,7 +98,7 @@ type experiment = {
    (train vs ref inputs). *)
 let experiment ?(train = no_setup) ?(run = no_setup)
     ?(config = Executor.default_config) program =
-  let tr, _profiler = compile ~setup:train program in
+  let tr, _profiler = compile ~setup:train ~config program in
   let sequential = run_sequential ~setup:run program in
   let parallel = run_parallel ~setup:run ~config tr in
   let speedup = float_of_int sequential.seq_cycles /. float_of_int parallel.par_cycles in

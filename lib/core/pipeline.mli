@@ -26,15 +26,26 @@ val set_global : Privateer_interp.Interp.t -> string -> int -> unit
     @raise Failure with positions on lexical/syntax errors. *)
 val parse : ?entry:string -> string -> Privateer_ir.Ast.program
 
-(** Instrumented training run: all five profilers over one execution. *)
+(** Instrumented training run.  [config.profilers] selects which
+    profilers run (default: all five; ["reference"] selects the
+    monolithic oracle — answers are identical either way); [pool]
+    lets the fast frontend drain event batches on pool domains.  The
+    profiling wall time is stamped on the returned profiler
+    ([Profiler.wall_ns]) — reporting only, exempt from the determinism
+    contract. *)
 val profile :
   ?setup:setup ->
+  ?config:Privateer_parallel.Runtime_config.t ->
+  ?pool:Privateer_support.Domain_pool.t ->
   Privateer_ir.Ast.program ->
   Privateer_profile.Profiler.t * Privateer_interp.Interp.t
 
-(** Profile, classify, select and transform: the whole compiler. *)
+(** Profile, classify, select and transform: the whole compiler.
+    [config]/[pool] are {!profile}'s. *)
 val compile :
   ?setup:setup ->
+  ?config:Privateer_parallel.Runtime_config.t ->
+  ?pool:Privateer_support.Domain_pool.t ->
   Privateer_ir.Ast.program ->
   Privateer_transform.Transform.result * Privateer_profile.Profiler.t
 

@@ -42,6 +42,7 @@ type config = Runtime_config.t = {
   serial_commit : bool;
   max_inflight : int;
   queue_cap : int;
+  profilers : string list;
 }
 
 (* Deprecated shims — use [Runtime_config] directly. *)

@@ -90,6 +90,12 @@ type t = {
       (* job server: admission-control bound on the queued-but-not-
          running backlog; a full queue blocks (or rejects, for
          try_submit) further submissions.  0 means unbounded. *)
+  profilers : string list;
+      (* profilers to run on the training pass: a subset of
+         Profiler.available (), ["all"] for every registered one, or
+         ["reference"] for the monolithic oracle.  Queries of a
+         disabled profiler answer empty, so restrict only when the
+         downstream passes don't need them. *)
 }
 
 (* ---- environment defaults -------------------------------------------- *)
@@ -157,6 +163,38 @@ let default_validation =
     match validation_of_string s with Some v -> v | None -> Commit)
   | None -> Commit
 
+(* Comma-separated profiler names; "all" enables every registered
+   profiler, "reference" (alone) the monolithic oracle. *)
+let parse_profilers s =
+  let names =
+    String.split_on_char ',' s
+    |> List.map (fun x -> String.lowercase_ascii (String.trim x))
+    |> List.filter (fun x -> x <> "")
+  in
+  let known = "all" :: "reference" :: Privateer_profile.Profiler.available () in
+  if names = [] then
+    Error
+      (Printf.sprintf "profilers: expected a comma-separated subset of %s"
+         (String.concat ", " known))
+  else
+    match List.find_opt (fun n -> not (List.mem n known)) names with
+    | Some bad ->
+      Error
+        (Printf.sprintf "profilers: unknown profiler %S (expected %s)" bad
+           (String.concat ", " known))
+    | None ->
+      if List.mem "reference" names && List.length names > 1 then
+        Error "profilers: 'reference' selects the whole oracle and cannot be combined"
+      else Ok names
+
+(* PRIVATEER_PROFILERS restricts the default profiler set, so CI can
+   push suites through the registration path with only some consumers
+   enabled. *)
+let default_profilers =
+  match Sys.getenv_opt "PRIVATEER_PROFILERS" with
+  | Some s -> ( match parse_profilers s with Ok names -> names | Error _ -> [ "all" ])
+  | None -> [ "all" ]
+
 let default =
   { workers = 4; host_domains = default_host_domains;
     merge_shards = default_merge_shards; pool_kind = default_pool_kind;
@@ -165,7 +203,8 @@ let default =
     pool_cap = default_pool_cap; costs = Cost_model.default; inject = None;
     validate = true; validation = default_validation; serial_commit = false;
     max_inflight = env_int ~lo:1 ~hi:64 ~default:4 "PRIVATEER_MAX_INFLIGHT";
-    queue_cap = env_int ~lo:0 ~hi:max_int ~default:0 "PRIVATEER_QUEUE_CAP" }
+    queue_cap = env_int ~lo:0 ~hi:max_int ~default:0 "PRIVATEER_QUEUE_CAP";
+    profilers = default_profilers }
 
 (* ---- validation ------------------------------------------------------- *)
 
@@ -203,6 +242,9 @@ let validate config =
     invalid_arg
       (Printf.sprintf "Runtime_config: queue_cap must be >= 0 (got %d)"
          config.queue_cap);
+  (match parse_profilers (String.concat "," config.profilers) with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Runtime_config: " ^ msg));
   Schedule.validate config.schedule
 
 (* ---- builder ---------------------------------------------------------- *)
@@ -210,7 +252,7 @@ let validate config =
 let make ?workers ?host_domains ?merge_shards ?pool_kind ?host_controller
     ?schedule ?checkpoint_period ?adaptive_period ?throttle ?pool_cap ?costs
     ?inject ?validate:validate_opt ?validation ?serial_commit ?max_inflight
-    ?queue_cap () =
+    ?queue_cap ?profilers () =
   let opt v d = Option.value v ~default:d in
   let config =
     { workers = opt workers default.workers;
@@ -228,7 +270,8 @@ let make ?workers ?host_domains ?merge_shards ?pool_kind ?host_controller
       validation = opt validation default.validation;
       serial_commit = opt serial_commit default.serial_commit;
       max_inflight = opt max_inflight default.max_inflight;
-      queue_cap = opt queue_cap default.queue_cap }
+      queue_cap = opt queue_cap default.queue_cap;
+      profilers = opt profilers default.profilers }
   in
   validate config;
   config
@@ -389,7 +432,20 @@ let cli_bindings =
          queue applies backpressure to submitters (0: unbounded; default \
          \\$(b,PRIVATEER_QUEUE_CAP) or 0).";
       b_flag_like = false;
-      b_apply = int_field "queue-cap" (fun t queue_cap -> { t with queue_cap }) }
+      b_apply = int_field "queue-cap" (fun t queue_cap -> { t with queue_cap }) };
+    { b_flags = [ "profilers" ]; b_docv = "LIST";
+      b_doc =
+        "Profilers to run on the training pass: a comma-separated subset of \
+         'ptr', 'lifetime', 'flow', 'value', 'exec'; 'all' (the default) runs \
+         every registered profiler, 'reference' the monolithic oracle (default \
+         \\$(b,PRIVATEER_PROFILERS)).  Queries of a disabled profiler answer \
+         empty, so restrict only when the downstream passes don't need them.";
+      b_flag_like = false;
+      b_apply =
+        (fun t s ->
+          match parse_profilers s with
+          | Ok profilers -> Ok { t with profilers }
+          | Error e -> Error e) }
   ]
 
 (* Fold a list of (binding, passed value) pairs over [base]; unpassed

@@ -96,6 +96,14 @@ type t = {
           queued-but-not-running backlog; a full queue blocks [submit]
           and rejects [try_submit].  [0] means unbounded.  Default:
           [PRIVATEER_QUEUE_CAP] or 0. *)
+  profilers : string list;
+      (** profilers to run on the training pass: a subset of
+          [Profiler.available ()] (["ptr"], ["lifetime"], ["flow"],
+          ["value"], ["exec"]), [["all"]] for every registered one, or
+          [["reference"]] for the monolithic oracle.  Queries of a
+          disabled profiler answer empty, so restrict only when the
+          downstream passes don't need them.  Default:
+          [PRIVATEER_PROFILERS] (comma-separated) or [["all"]]. *)
 }
 
 val default_host_domains : int
@@ -125,6 +133,15 @@ val parse_pool_cap : string -> int option
 (** Parse a pool-cap string: a non-negative integer, or ["auto"] for
     [Page_pool.auto].  [None] on anything else. *)
 
+val default_profilers : string list
+(** The [PRIVATEER_PROFILERS] environment default ([["all"]] when
+    unset or unparseable). *)
+
+val parse_profilers : string -> (string list, string) result
+(** Parse a comma-separated profiler list against
+    [Profiler.available ()] plus ["all"] and ["reference"]
+    (["reference"] only alone). *)
+
 val default : t
 (** Every field at its documented default (environment-sensitive for
     [host_domains] and [pool_cap]). *)
@@ -153,6 +170,7 @@ val make :
   ?serial_commit:bool ->
   ?max_inflight:int ->
   ?queue_cap:int ->
+  ?profilers:string list ->
   unit ->
   t
 

@@ -1,15 +1,23 @@
-(** The Privateer profilers (paper section 4.1), all driven by one set
-    of interpreter hooks over the training run: pointer-to-object,
+(** The Privateer profilers (paper section 4.1): pointer-to-object,
     object lifetime, cross-iteration memory flow dependence,
-    value-prediction, branch-bias, and per-loop execution time. *)
+    value-prediction, branch-bias, and per-loop execution time.
 
-type const_status = Const of Privateer_interp.Value.t | Varying
+    This is a facade over two implementations with identical query
+    answers: the fast event-batch frontend with independently
+    registered per-profiler consumers ({!Frontend}), and the original
+    monolithic profiler kept as the differential-testing oracle
+    ({!Profiler_reference}, selected with the pseudo-profiler name
+    ["reference"]). *)
+
+type const_status = Profile_types.const_status =
+  | Const of Privateer_interp.Value.t
+  | Varying
 
 (** Per cross-iteration flow dependence: occurrence count, whether the
     flowing value was one constant, and whether it flowed through a
     single address — constant single-address dependences are
     value-prediction candidates. *)
-type dep_info = {
+type dep_info = Profile_types.dep_info = {
   mutable dep_count : int;
   mutable dep_value : const_status;
   mutable dep_addr : [ `Addr of int | `Many ];
@@ -17,16 +25,55 @@ type dep_info = {
 
 type t
 
-val create : unit -> t
+(** [create ~profilers ()] builds a profiler running only the named
+    profilers (see {!available}); ["all"] (the default) enables every
+    registered one, ["reference"] selects the monolithic oracle.
+    [pool] lets the fast frontend drain event batches on pool domains;
+    answers are identical at every pool size.  [batch] overrides the
+    event-batch capacity (testing only).
+    @raise Invalid_argument on an unknown profiler name. *)
+val create :
+  ?profilers:string list -> ?pool:Privateer_support.Domain_pool.t ->
+  ?batch:int -> unit -> t
+
+(** The monolithic oracle, directly. *)
+val create_reference : unit -> t
+
+(** Registered profiler names, in registration order
+    (["ptr"; "lifetime"; "flow"; "value"; "exec"]). *)
+val available : unit -> string list
+
+(** The profiler names this instance runs (["reference"] for the
+    oracle). *)
+val enabled : t -> string list
 
 (** Register the program's globals and install the profiling hooks on
     an interpreter (call before [Interp.run_entry]). *)
 val attach : t -> Privateer_interp.Interp.t -> unit
 
-(** Convenience: create an interpreter, attach, run the program. *)
-val profile_run : Privateer_ir.Ast.program -> t * Privateer_interp.Interp.t
+(** Drain in-flight event batches.  Queries sync implicitly; callers
+    timing the profile call it so consumer work lands on the profiling
+    side of the clock. *)
+val sync : t -> unit
 
-(** {1 Post-run queries} *)
+(** Convenience: create an interpreter, attach, run the program,
+    sync. *)
+val profile_run :
+  ?profilers:string list -> ?pool:Privateer_support.Domain_pool.t ->
+  Privateer_ir.Ast.program -> t * Privateer_interp.Interp.t
+
+(** Wall-clock nanoseconds the training run spent profiling, stamped
+    by [Pipeline.profile]; 0 until set.  Reporting only — exempt from
+    the determinism contract. *)
+val wall_ns : t -> float
+
+val set_wall_ns : t -> float -> unit
+
+(** {1 Post-run queries}
+
+    Queries owned by a profiler that was not enabled return the
+    empty answer ([Objname.Set.empty], [false], [[]], [None],
+    [(0, 0)]). *)
 
 (** Objects a load/store site was observed to touch
     (the paper's [mapPointerToObjects]). *)
@@ -41,7 +88,7 @@ val alloc_names : t -> int -> Objname.Set.t
 val is_short_lived : t -> Objname.t -> loop:int -> bool
 
 (** Cross-iteration (loop-carried) flow dependences of [loop]:
-    [(writer site, reader site, info)]. *)
+    [(writer site, reader site, info)], sorted by (writer, reader). *)
 val flow_deps : t -> loop:int -> (int * int * dep_info) list
 
 (** The constant every observation of this load produced, if any. *)
@@ -54,7 +101,11 @@ val branch_bias : t -> int -> bool option
 (** Raw (taken, not-taken) counts. *)
 val branch_counts : t -> int -> int * int
 
-type loop_summary = { loop_invocations : int; loop_trips : int; loop_cycles : int }
+type loop_summary = Profile_types.loop_summary = {
+  loop_invocations : int;
+  loop_trips : int;
+  loop_cycles : int;
+}
 
 val loop_summary : t -> int -> loop_summary option
 
@@ -68,6 +119,6 @@ val object_size : t -> Objname.t -> int option
     with its base address. *)
 val object_at_addr : t -> int -> (Objname.t * int) option
 
-(** Loops by total profiled cycles, heaviest first (the execution-time
-    profiler's hot-loop ranking). *)
+(** Loops by total profiled cycles, heaviest first; ties break on the
+    loop id (the execution-time profiler's hot-loop ranking). *)
 val loops_by_weight : t -> (int * int) list

@@ -66,6 +66,7 @@ type job_result = {
   jr_output_identical : bool option;
   jr_queue_ns : float; (* host: admission to launch *)
   jr_service_ns : float; (* host: launch to settle *)
+  jr_profile_ns : float; (* host: profiling share of the training run *)
 }
 
 type state = Queued | Running | Done of job_result | Failed of string
@@ -126,7 +127,10 @@ let fingerprint_of_run ~output ~result ~cycles ~fallbacks stats =
    concurrent job can never replace — and shut down — the shared pool
    through the `Domain_pool.shared` registry. *)
 let execute_spec ?pool spec =
-  let tr, _profiler = Pipeline.compile ~setup:spec.js_train spec.js_program in
+  let tr, profiler =
+    Pipeline.compile ~setup:spec.js_train ~config:spec.js_config ?pool
+      spec.js_program
+  in
   let par = Pipeline.run_parallel ~setup:spec.js_run ~config:spec.js_config ?pool tr in
   let baseline =
     if spec.js_baseline then
@@ -145,7 +149,8 @@ let execute_spec ?pool spec =
       Option.map
         (fun (s : Pipeline.seq_run) -> String.equal s.seq_output par.par_output)
         baseline;
-    jr_queue_ns = 0.0; jr_service_ns = 0.0 }
+    jr_queue_ns = 0.0; jr_service_ns = 0.0;
+    jr_profile_ns = Privateer_profile.Profiler.wall_ns profiler }
 
 (* ---- the server -------------------------------------------------------- *)
 
@@ -402,6 +407,7 @@ let job_json t job =
           ("fingerprint", Json.String r.jr_fingerprint);
           ("queue_ms", Json.Float (r.jr_queue_ns /. 1e6));
           ("service_ms", Json.Float (r.jr_service_ns /. 1e6));
+          ("profile_ms", Json.Float (r.jr_profile_ns /. 1e6));
           ("loops", Json.List loops) ]
       @ (match r.jr_baseline_cycles with
         | Some c ->

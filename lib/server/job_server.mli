@@ -63,6 +63,10 @@ type job_result = {
   jr_output_identical : bool option;
   jr_queue_ns : float;  (** host wall time from admission to launch *)
   jr_service_ns : float;  (** host wall time from launch to settle *)
+  jr_profile_ns : float;
+      (** host wall time the training run spent profiling
+          ([Profiler.wall_ns]); instrumentation like [jr_queue_ns],
+          excluded from the fingerprint *)
 }
 
 (** Job lifecycle: [Queued] (admitted, waiting for an in-flight slot)

@@ -10,6 +10,10 @@ open Privateer_machine
 open Privateer_runtime
 module Runtime_config = Privateer_parallel.Runtime_config
 
+(* Plan-content assertions need the full profile, regardless of the
+   PRIVATEER_PROFILERS environment the suite runs under. *)
+let full_profile = { Runtime_config.default with profilers = [ "all" ] }
+
 let check = Alcotest.(check bool)
 let base = Privateer_ir.Heap.base Privateer_ir.Heap.Private
 
@@ -109,7 +113,7 @@ fn main() {
 
 let run_mode ?inject validation =
   let program = Pipeline.parse clean_src in
-  let tr, _ = Pipeline.compile program in
+  let tr, _ = Pipeline.compile ~config:full_profile program in
   let config =
     { Privateer_parallel.Executor.default_config with
       workers = 4; checkpoint_period = Some 20; inject; validation }
@@ -173,7 +177,7 @@ let test_no_false_kill_on_clean_intervals () =
 let prop_eager_equals_commit tmpls =
   let src = Test_props.program_of_templates tmpls in
   let program = Pipeline.parse src in
-  let tr, _ = Pipeline.compile program in
+  let tr, _ = Pipeline.compile ~config:full_profile program in
   List.for_all
     (fun (host_domains, merge_shards) ->
       let run validation =
@@ -201,7 +205,7 @@ let prop_eager_equals_commit tmpls =
 let prop_eager_equals_commit_with_misspec tmpls =
   let src = Test_props.program_of_templates tmpls in
   let program = Pipeline.parse src in
-  let tr, _ = Pipeline.compile program in
+  let tr, _ = Pipeline.compile ~config:full_profile program in
   let seq = Pipeline.run_sequential program in
   let run validation =
     let config =

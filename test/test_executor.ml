@@ -8,7 +8,12 @@ open Privateer
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
-let compile src = Pipeline.compile (Pipeline.parse src)
+(* Plan-content assertions need the full profile, regardless of the
+   PRIVATEER_PROFILERS environment the suite runs under. *)
+let full_profile =
+  { Privateer_parallel.Runtime_config.default with profilers = [ "all" ] }
+
+let compile src = Pipeline.compile ~config:full_profile (Pipeline.parse src)
 
 let config ?(workers = 4) ?checkpoint_period ?inject ?(schedule = Privateer_parallel.Schedule.Cyclic)
     ?(adaptive = false) ?throttle ?(serial_commit = false) () =
@@ -20,7 +25,7 @@ let config ?(workers = 4) ?checkpoint_period ?inject ?(schedule = Privateer_para
 let assert_equivalent ?workers ?checkpoint_period ?inject ?schedule ?adaptive
     ?throttle ?serial_commit src =
   let program = Pipeline.parse src in
-  let tr, _ = Pipeline.compile program in
+  let tr, _ = Pipeline.compile ~config:full_profile program in
   check "a loop was planned" true (tr.selection.plans <> []);
   let seq = Pipeline.run_sequential program in
   let par =
@@ -188,7 +193,11 @@ fn main() {
   in
   let program = Pipeline.parse src in
   (* Train with mode=0 so the profiler predicts flag==0. *)
-  let tr, _ = Pipeline.compile ~setup:(fun st -> Pipeline.set_global st "mode" 0) program in
+  let tr, _ =
+    Pipeline.compile ~config:full_profile
+      ~setup:(fun st -> Pipeline.set_global st "mode" 0)
+      program
+  in
   check "prediction exists" true
     (List.exists
        (fun (l : Privateer_transform.Manifest.loop_spec) -> l.predictions <> [])
@@ -314,7 +323,7 @@ fn main() {
      accept either outcome: if a plan exists, execution must still be
      equivalent. *)
   let program = Pipeline.parse src in
-  let tr, _ = Pipeline.compile program in
+  let tr, _ = Pipeline.compile ~config:full_profile program in
   match tr.selection.plans with
   | [] -> () (* classified unrestricted: also acceptable (dep value varies) *)
   | _ ->
@@ -539,7 +548,7 @@ let test_throttle_off_keeps_speculating () =
 let test_reenable_loop () =
   (* After re-enabling, the loop speculates again. *)
   let program = Pipeline.parse throttle_src in
-  let tr, _ = Pipeline.compile program in
+  let tr, _ = Pipeline.compile ~config:full_profile program in
   let inject iter = iter mod 5 = 4 in
   let cfg = config ~throttle:2 ~inject () in
   let st = Privateer_interp.Interp.create ~cost:cfg.costs.base tr.program in
@@ -588,7 +597,11 @@ fn main() {
 }|}
   in
   let program = Pipeline.parse src in
-  let tr, _ = Pipeline.compile ~setup:(fun st -> Pipeline.set_global st "mode" 0) program in
+  let tr, _ =
+    Pipeline.compile ~config:full_profile
+      ~setup:(fun st -> Pipeline.set_global st "mode" 0)
+      program
+  in
   let setup st = Pipeline.set_global st "mode" 9 in
   let seq = Pipeline.run_sequential ~setup program in
   let par = Pipeline.run_parallel ~setup ~config:(config ()) tr in

@@ -84,10 +84,18 @@ let test_workload_of_spec () =
 
 (* ---- classification oracle ---------------------------------------------- *)
 
+(* Plan-content assertions need the full profile, regardless of the
+   PRIVATEER_PROFILERS environment the suite runs under. *)
+let full_profile =
+  { Privateer_parallel.Runtime_config.default with profilers = [ "all" ] }
+
 let compile_scenario (t : Scenario_gen.t) =
   let wl = t.Scenario_gen.sc_workload in
   let program = Workload.program wl in
-  let tr, _ = Pipeline.compile ~setup:(Workload.setup wl Workload.Train) program in
+  let tr, _ =
+    Pipeline.compile ~config:full_profile ~setup:(Workload.setup wl Workload.Train)
+      program
+  in
   (wl, program, tr)
 
 let assigned_heap (tr : Privateer_transform.Transform.result) name =

@@ -1,16 +1,43 @@
-(* Unit tests for the profilers (paper section 4.1). *)
+(* Unit and differential tests for the profilers (paper section 4.1).
+
+   Every unit test runs under three implementations — the fast
+   frontend inline, the monolithic reference oracle, and the fast
+   frontend in batched mode (2-domain pool, tiny batches so flushes
+   land inside loop bodies) — all of which must answer identically.
+   A qcheck property then checks the full query surface of the fast
+   frontend against the reference over generated scenarios. *)
 
 open Privateer_ir
 open Privateer_interp
 open Privateer_profile
+module RC = Privateer_parallel.Runtime_config
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
-let profile src =
+let run_with ?(profilers = [ "all" ]) ?pool ?batch src =
   let program = Privateer_lang.Parser.parse_program_exn src in
-  let p, st = Profiler.profile_run program in
+  let st = Interp.create program in
+  let p = Profiler.create ~profilers ?pool ?batch () in
+  Profiler.attach p st;
+  ignore (Interp.run_entry st);
+  Profiler.sync p;
   (program, p, st)
+
+(* Batched runs keep the pool alive for the instrumented run and the
+   sync; queries after shutdown fall back to inline task execution. *)
+let run_batched ?(batch = 3) src =
+  let pool = Privateer_support.Domain_pool.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Privateer_support.Domain_pool.shutdown pool)
+    (fun () -> run_with ~pool ~batch src)
+
+type runner = string -> Ast.program * Profiler.t * Interp.t
+
+let variants : (string * runner) list =
+  [ ("fast", fun src -> run_with src);
+    ("reference", fun src -> run_with ~profilers:[ "reference" ] src);
+    ("batched", fun src -> run_batched src) ]
 
 (* The node id of the single For loop in [fname]. *)
 let loop_in program fname =
@@ -22,19 +49,20 @@ let loop_in program fname =
   | Some (_, (id, _)) -> id
   | None -> Alcotest.fail ("no loop in " ^ fname)
 
-let test_global_objects_registered () =
+(* ---- unit tests, parameterized over the implementations --------------- *)
+
+let test_global_objects_registered (profile : runner) () =
   let _, p, _ = profile "global g[4]; fn main() { g[0] = 1; return g[0]; }" in
   check "global named" true (Objname.Set.mem (Objname.Global "g") (Profiler.all_objects p));
   match Profiler.object_size p (Objname.Global "g") with
   | Some 32 -> ()
   | other -> Alcotest.fail (Printf.sprintf "size %s" (match other with Some n -> string_of_int n | None -> "?"))
 
-let test_site_object_mapping () =
+let test_site_object_mapping (profile : runner) () =
   let program, p, _ =
     profile
       "global a[4]; global b[4]; fn main() { var t = 0; for (i = 0; i < 4) { t = a[i]; b[i] = t; } return t; }"
   in
-  ignore program;
   (* Find the load and store sites via the AST. *)
   let sites = ref [] in
   List.iter
@@ -60,7 +88,7 @@ let test_site_object_mapping () =
   check_int "one site touches a" 1 (List.length a_sites);
   check_int "one site touches b" 1 (List.length b_sites)
 
-let test_alloc_context_naming () =
+let test_alloc_context_naming (profile : runner) () =
   (* The same malloc site called from two different call sites yields
      two distinct object names (paper's dijkstra line-11 example). *)
   let _, p, _ =
@@ -77,7 +105,7 @@ fn main() { var x = a(); var y = b(); free(x); free(y); return 0; }|}
   in
   check_int "two context-distinguished names" 2 (Objname.Set.cardinal sites)
 
-let test_short_lived_positive () =
+let test_short_lived_positive (profile : runner) () =
   let program, p, _ =
     profile
       "fn main() { for (i = 0; i < 5) { var n = malloc(2); n[0] = i; free(n); } return 0; }"
@@ -93,7 +121,7 @@ let test_short_lived_positive () =
     (fun o -> check "short-lived" true (Profiler.is_short_lived p o ~loop))
     site_names
 
-let test_short_lived_negative_escape () =
+let test_short_lived_negative_escape (profile : runner) () =
   (* Object freed in the NEXT iteration: crosses an iteration
      boundary, so not short-lived. *)
   let program, p, _ =
@@ -117,7 +145,7 @@ fn main() {
       | _ -> ())
     (Profiler.all_objects p)
 
-let test_short_lived_negative_born_outside () =
+let test_short_lived_negative_born_outside (profile : runner) () =
   (* Allocated before the loop, freed inside it. *)
   let program, p, _ =
     profile
@@ -131,14 +159,14 @@ let test_short_lived_negative_born_outside () =
       | _ -> ())
     (Profiler.all_objects p)
 
-let test_flow_deps_cross_iteration () =
+let test_flow_deps_cross_iteration (profile : runner) () =
   let program, p, _ =
     profile "global acc; fn main() { acc = 0; for (i = 0; i < 4) { acc = acc + i; } return acc; }"
   in
   let loop = loop_in program "main" in
   check "cross-iteration flow dep on acc" true (Profiler.flow_deps p ~loop <> [])
 
-let test_flow_deps_intra_iteration_only () =
+let test_flow_deps_intra_iteration_only (profile : runner) () =
   (* Written then read within each iteration: no loop-carried flow. *)
   let program, p, _ =
     profile "global t; fn main() { var s = 0; for (i = 0; i < 4) { t = i; s = s + t; } return s; }"
@@ -146,7 +174,7 @@ let test_flow_deps_intra_iteration_only () =
   let loop = loop_in program "main" in
   check_int "no cross-iteration deps" 0 (List.length (Profiler.flow_deps p ~loop))
 
-let test_flow_deps_recycled_address () =
+let test_flow_deps_recycled_address (profile : runner) () =
   (* A freed-and-reallocated address must not produce a phantom dep:
      the write went to a *different* object. *)
   let program, p, _ =
@@ -157,7 +185,48 @@ let test_flow_deps_recycled_address () =
   check_int "no phantom dep through recycled storage" 0
     (List.length (Profiler.flow_deps p ~loop))
 
-let test_dep_value_constancy () =
+let test_flow_deps_unaligned (profile : runner) () =
+  (* An 8-byte store at buf+4 straddles words 0 and 1; the aligned
+     read of buf[1] in the next iteration depends on its *high* word.
+     Regression: the shadow update must cover every word the access
+     touches, not just the first. *)
+  let program, p, _ =
+    profile
+      {|global buf[4];
+fn main() {
+  var s = 0;
+  var q = buf + 4;
+  for (i = 0; i < 4) {
+    s = s + buf[1];
+    q[0] = i;
+  }
+  return s;
+}|}
+  in
+  let loop = loop_in program "main" in
+  check "unaligned store's high word carries the dep" true
+    (Profiler.flow_deps p ~loop <> [])
+
+let test_flow_deps_unaligned_load (profile : runner) () =
+  (* Mirror case: aligned store, straddling load. *)
+  let program, p, _ =
+    profile
+      {|global buf[4];
+fn main() {
+  var s = 0;
+  var q = buf + 12;
+  for (i = 0; i < 4) {
+    s = s + q[0];
+    buf[2] = i;
+  }
+  return s;
+}|}
+  in
+  let loop = loop_in program "main" in
+  check "unaligned load's high word sees the dep" true
+    (Profiler.flow_deps p ~loop <> [])
+
+let test_dep_value_constancy (profile : runner) () =
   (* The flowing value is always 0: a value-prediction candidate. *)
   let program, p, _ =
     profile
@@ -185,7 +254,7 @@ fn main() {
       | `Many -> Alcotest.fail "expected single address")
     deps
 
-let test_branch_bias () =
+let test_branch_bias (profile : runner) () =
   let program, p, _ =
     profile
       {|global g;
@@ -198,7 +267,6 @@ fn main() {
   return g;
 }|}
   in
-  ignore program;
   let branches = ref [] in
   List.iter
     (fun (f : Ast.func) ->
@@ -209,7 +277,7 @@ fn main() {
   let biases = List.map (fun id -> Profiler.branch_bias p id) (List.rev !branches) in
   check "always / never / mixed" true (biases = [ Some true; Some false; None ])
 
-let test_loop_stats () =
+let test_loop_stats (profile : runner) () =
   let program, p, _ =
     profile
       "fn main() { var s = 0; for (o = 0; o < 3) { for (i = 0; i < 5) { s = s + 1; } } return s; }"
@@ -233,7 +301,7 @@ let test_loop_stats () =
       | [] -> false)
   | _ -> Alcotest.fail "stats missing"
 
-let test_const_load () =
+let test_const_load (profile : runner) () =
   let program, p, _ =
     profile
       {|global k; global v;
@@ -244,7 +312,6 @@ fn main() {
   return s;
 }|}
   in
-  ignore program;
   (* Find load sites for k and v. *)
   let konst = ref None and varying = ref None in
   List.iter
@@ -267,31 +334,301 @@ fn main() {
   | Some id -> check "v load varies" true (Profiler.const_load_value p id = None)
   | None -> Alcotest.fail "no v load site"
 
-let test_object_at_addr () =
-  let src = "global g[8]; fn main() { g[0] = 1; return 0; }" in
-  let program = Privateer_lang.Parser.parse_program_exn src in
-  let st = Interp.create program in
-  let p = Profiler.create () in
-  Profiler.attach p st;
-  ignore (Interp.run_entry st);
+let test_object_at_addr (profile : runner) () =
+  let _, p, st = profile "global g[8]; fn main() { g[0] = 1; return 0; }" in
   let base = Hashtbl.find st.globals "g" in
   (match Profiler.object_at_addr p (base + 40) with
   | Some (Objname.Global "g", b) -> check_int "base" base b
   | _ -> Alcotest.fail "interior address should map to g");
   check "address outside any object" true (Profiler.object_at_addr p 0x9999 = None)
 
+(* ---- deterministic loops_by_weight order ------------------------------ *)
+
+let test_loops_by_weight_tiebreak () =
+  (* Two byte-identical loops tie on weight; the order must be the
+     same deterministic one (descending weight, loop id ascending on
+     ties) from every implementation. *)
+  let src =
+    "fn main() { var s = 0; for (a = 0; a < 3) { s = s + 1; } for (b = 0; b < 3) { s = s + 1; } return s; }"
+  in
+  let ranked (_, p, _) = Profiler.loops_by_weight p in
+  let fast = ranked (run_with src) in
+  let rf = ranked (run_with ~profilers:[ "reference" ] src) in
+  let batched = ranked (run_batched src) in
+  check "two ranked loops" true (List.length fast = 2);
+  (match fast with
+  | (l1, w1) :: (l2, w2) :: _ ->
+    check "tie on weight" true (w1 = w2);
+    check "ties break by loop id" true (l1 < l2)
+  | _ -> Alcotest.fail "expected two loops");
+  check "fast = reference" true (fast = rf);
+  check "fast = batched" true (fast = batched)
+
+(* ---- full query surface differential ---------------------------------- *)
+
+let dep_info_eq (a : Profiler.dep_info) (b : Profiler.dep_info) =
+  a.dep_count = b.dep_count
+  && (match (a.dep_value, b.dep_value) with
+     | Profiler.Const x, Profiler.Const y -> Value.equal x y
+     | Profiler.Varying, Profiler.Varying -> true
+     | _ -> false)
+  && a.dep_addr = b.dep_addr
+
+let deps_eq a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (w1, r1, i1) (w2, r2, i2) -> w1 = w2 && r1 = r2 && dep_info_eq i1 i2)
+       a b
+
+(* First query family on which [pa] and [pb] disagree, if any.  Covers
+   all six families: pointer-to-object, lifetime, flow, constant
+   loads, branch bias, and loop execution weight. *)
+let diff_answers (program : Ast.program) pa pb =
+  let fail = ref None in
+  let expect what ok = if !fail = None && not ok then fail := Some what in
+  let objs_a = Profiler.all_objects pa in
+  expect "all_objects" (Objname.Set.equal objs_a (Profiler.all_objects pb));
+  Objname.Set.iter
+    (fun o -> expect "object_size" (Profiler.object_size pa o = Profiler.object_size pb o))
+    objs_a;
+  let loads = ref [] and stores = ref [] and branches = ref [] and allocs = ref [] in
+  List.iter
+    (fun (f : Ast.func) ->
+      Ast.iter_exprs
+        (fun e ->
+          match e with
+          | Ast.Load (id, _, _) -> loads := id :: !loads
+          | Ast.Alloc (id, _, _, _) -> allocs := id :: !allocs
+          | _ -> ())
+        f.body;
+      Ast.iter_stmts
+        (fun s ->
+          match s with
+          | Ast.Store (id, _, _, _) -> stores := id :: !stores
+          | Ast.If (id, _, _, _) -> branches := id :: !branches
+          | _ -> ())
+        f.body)
+    program.funcs;
+  List.iter
+    (fun site ->
+      expect "objects_at_site"
+        (Objname.Set.equal (Profiler.objects_at_site pa site) (Profiler.objects_at_site pb site)))
+    (!loads @ !stores);
+  List.iter
+    (fun site ->
+      expect "alloc_names"
+        (Objname.Set.equal (Profiler.alloc_names pa site) (Profiler.alloc_names pb site)))
+    !allocs;
+  List.iter
+    (fun site ->
+      expect "const_load_value"
+        (match (Profiler.const_load_value pa site, Profiler.const_load_value pb site) with
+        | Some x, Some y -> Value.equal x y
+        | None, None -> true
+        | _ -> false))
+    !loads;
+  List.iter
+    (fun b ->
+      expect "branch_counts" (Profiler.branch_counts pa b = Profiler.branch_counts pb b);
+      expect "branch_bias" (Profiler.branch_bias pa b = Profiler.branch_bias pb b))
+    !branches;
+  let loops = List.map (fun (_, (id, _)) -> id) (Ast.loops_of_program program) in
+  List.iter
+    (fun loop ->
+      expect "flow_deps" (deps_eq (Profiler.flow_deps pa ~loop) (Profiler.flow_deps pb ~loop));
+      expect "loop_summary" (Profiler.loop_summary pa loop = Profiler.loop_summary pb loop);
+      Objname.Set.iter
+        (fun o ->
+          expect "is_short_lived"
+            (Profiler.is_short_lived pa o ~loop = Profiler.is_short_lived pb o ~loop))
+        objs_a)
+    loops;
+  expect "loops_by_weight" (Profiler.loops_by_weight pa = Profiler.loops_by_weight pb);
+  !fail
+
+let scenario_corpus =
+  lazy (Privateer_gen.Scenario_gen.corpus ~seed:11 ~count:6)
+
+let run_scenario ?profilers ?pool ?batch (sc : Privateer_gen.Scenario_gen.t) =
+  let wl = sc.sc_workload in
+  let program = Privateer_workloads.Workload.program wl in
+  let setup = Privateer_workloads.Workload.setup ~scale:1 wl Privateer_workloads.Workload.Train in
+  let st = Interp.create program in
+  let p = Profiler.create ?profilers ?pool ?batch () in
+  Profiler.attach p st;
+  setup st;
+  ignore (Interp.run_entry st);
+  Profiler.sync p;
+  (program, p)
+
+let prop_fast_matches_reference =
+  QCheck.Test.make ~count:12 ~name:"fast frontend = reference on generated scenarios"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 5))
+    (fun i ->
+      let sc = List.nth (Lazy.force scenario_corpus) i in
+      let program, pf = run_scenario sc in
+      let _, pr = run_scenario ~profilers:[ "reference" ] sc in
+      match diff_answers program pf pr with
+      | None -> true
+      | Some what -> QCheck.Test.fail_reportf "%s differs on %s" what sc.sc_name)
+
+(* ---- batched mode ------------------------------------------------------ *)
+
+(* Every query must be invariant in the batch size: a batch of 1
+   flushes at every event, so batch boundaries land on loop enters,
+   iterations and exits. *)
+let test_batch_boundaries () =
+  let src =
+    {|global acc;
+fn main() {
+  acc = 0;
+  for (o = 0; o < 3) {
+    for (i = 0; i < 4) { acc = acc + i; }
+  }
+  return acc;
+}|}
+  in
+  let program, pr, _ = run_with ~profilers:[ "reference" ] src in
+  List.iter
+    (fun batch ->
+      let _, pb, _ = run_batched ~batch src in
+      match diff_answers program pb pr with
+      | None -> ()
+      | Some what -> Alcotest.fail (Printf.sprintf "batch=%d differs on %s" batch what))
+    [ 1; 2; 7 ]
+
+let test_batch_free_then_realloc () =
+  (* The allocator recycles the freed base address, so the name id of
+     an in-flight event must be resolved at hook time, not replay
+     time: with a tiny batch the free and the next alloc land in
+     different batches than the accesses they govern. *)
+  let src =
+    "fn main() { var s = 0; for (i = 0; i < 6) { var n = malloc(1); n[0] = i; s = s + n[0]; free(n); } return s; }"
+  in
+  let program, pr, _ = run_with ~profilers:[ "reference" ] src in
+  let _, pb, _ = run_batched ~batch:1 src in
+  (match diff_answers program pb pr with
+  | None -> ()
+  | Some what -> Alcotest.fail ("free/realloc differs on " ^ what));
+  let loop = loop_in program "main" in
+  check_int "still no phantom dep" 0 (List.length (Profiler.flow_deps pb ~loop))
+
+let test_batch_nested_invocation_cycles () =
+  (* Cycle accounting across nested invocations: enter/exit cycle
+     stamps ride inside the event stream, so per-loop cycles must
+     survive batching exactly. *)
+  let src =
+    "fn main() { var s = 0; for (o = 0; o < 3) { for (i = 0; i < 5) { s = s + 1; } } return s; }"
+  in
+  let program, pr, _ = run_with ~profilers:[ "reference" ] src in
+  let _, pb, _ = run_batched ~batch:2 src in
+  List.iter
+    (fun (_, (loop, _)) ->
+      match (Profiler.loop_summary pb loop, Profiler.loop_summary pr loop) with
+      | Some a, Some b ->
+        check_int "invocations" b.loop_invocations a.loop_invocations;
+        check_int "trips" b.loop_trips a.loop_trips;
+        check_int "cycles" b.loop_cycles a.loop_cycles
+      | _ -> Alcotest.fail "summary missing")
+    (Ast.loops_of_program program)
+
+(* ---- restricted profiler sets ----------------------------------------- *)
+
+let test_restricted_set () =
+  let src =
+    {|global acc;
+fn main() {
+  acc = 0;
+  for (i = 0; i < 4) {
+    if (i % 2 == 0) { acc = acc + i; }
+    var n = malloc(1); n[0] = acc; free(n);
+  }
+  return acc;
+}|}
+  in
+  let program, p, _ = run_with ~profilers:[ "exec"; "flow" ] src in
+  check "enabled set" true (Profiler.enabled p = [ "exec"; "flow" ]);
+  let loop = loop_in program "main" in
+  (* Enabled profilers answer... *)
+  check "flow deps observed" true (Profiler.flow_deps p ~loop <> []);
+  check "loop summary present" true (Profiler.loop_summary p loop <> None);
+  (* ...disabled ones answer as if they observed nothing. *)
+  let sites = ref [] in
+  List.iter
+    (fun (f : Ast.func) ->
+      Ast.iter_exprs
+        (fun e -> match e with Ast.Load (id, _, _) -> sites := id :: !sites | _ -> ())
+        f.body;
+      Ast.iter_stmts
+        (fun s -> match s with Ast.If (id, _, _, _) -> sites := id :: !sites | _ -> ())
+        f.body)
+    program.funcs;
+  List.iter
+    (fun id ->
+      check "no objects at site" true (Objname.Set.is_empty (Profiler.objects_at_site p id));
+      check "no const load" true (Profiler.const_load_value p id = None);
+      check "no branch bias" true (Profiler.branch_bias p id = None))
+    !sites;
+  Objname.Set.iter
+    (fun o -> check "nothing short-lived" false (Profiler.is_short_lived p o ~loop))
+    (Profiler.all_objects p)
+
+let test_parse_profilers () =
+  let ok = function Ok names -> names | Error e -> Alcotest.fail e in
+  Alcotest.(check (list string))
+    "plain list" [ "exec"; "flow" ]
+    (ok (RC.parse_profilers "exec,flow"));
+  Alcotest.(check (list string))
+    "normalized" [ "exec"; "flow" ]
+    (ok (RC.parse_profilers " Exec , FLOW "));
+  Alcotest.(check (list string)) "all" [ "all" ] (ok (RC.parse_profilers "all"));
+  Alcotest.(check (list string))
+    "reference alone" [ "reference" ]
+    (ok (RC.parse_profilers "reference"));
+  let is_err = function Error _ -> true | Ok _ -> false in
+  check "unknown name rejected" true (is_err (RC.parse_profilers "bogus"));
+  check "reference cannot combine" true (is_err (RC.parse_profilers "reference,exec"));
+  check "empty rejected" true (is_err (RC.parse_profilers ""));
+  check "unknown profiler in create" true
+    (try
+       ignore (Profiler.create ~profilers:[ "nope" ] ());
+       false
+     with Invalid_argument _ -> true)
+
 let suite =
-  [ Alcotest.test_case "globals registered as objects" `Quick test_global_objects_registered;
-    Alcotest.test_case "pointer-to-object site mapping" `Quick test_site_object_mapping;
-    Alcotest.test_case "allocation context naming" `Quick test_alloc_context_naming;
-    Alcotest.test_case "short-lived: alloc+free in iteration" `Quick test_short_lived_positive;
-    Alcotest.test_case "short-lived: escape to next iteration" `Quick test_short_lived_negative_escape;
-    Alcotest.test_case "short-lived: born outside loop" `Quick test_short_lived_negative_born_outside;
-    Alcotest.test_case "flow deps: cross-iteration detected" `Quick test_flow_deps_cross_iteration;
-    Alcotest.test_case "flow deps: intra-iteration ignored" `Quick test_flow_deps_intra_iteration_only;
-    Alcotest.test_case "flow deps: recycled addresses" `Quick test_flow_deps_recycled_address;
-    Alcotest.test_case "dep value constancy" `Quick test_dep_value_constancy;
-    Alcotest.test_case "branch bias" `Quick test_branch_bias;
-    Alcotest.test_case "loop statistics" `Quick test_loop_stats;
-    Alcotest.test_case "constant-load detection" `Quick test_const_load;
-    Alcotest.test_case "object_at_addr" `Quick test_object_at_addr ]
+  let parameterized =
+    List.concat_map
+      (fun (vname, runner) ->
+        List.map
+          (fun (name, fn) ->
+            Alcotest.test_case (Printf.sprintf "%s [%s]" name vname) `Quick (fn runner))
+          [ ("globals registered as objects", test_global_objects_registered);
+            ("pointer-to-object site mapping", test_site_object_mapping);
+            ("allocation context naming", test_alloc_context_naming);
+            ("short-lived: alloc+free in iteration", test_short_lived_positive);
+            ("short-lived: escape to next iteration", test_short_lived_negative_escape);
+            ("short-lived: born outside loop", test_short_lived_negative_born_outside);
+            ("flow deps: cross-iteration detected", test_flow_deps_cross_iteration);
+            ("flow deps: intra-iteration ignored", test_flow_deps_intra_iteration_only);
+            ("flow deps: recycled addresses", test_flow_deps_recycled_address);
+            ("flow deps: unaligned store straddles words", test_flow_deps_unaligned);
+            ("flow deps: unaligned load straddles words", test_flow_deps_unaligned_load);
+            ("dep value constancy", test_dep_value_constancy);
+            ("branch bias", test_branch_bias);
+            ("loop statistics", test_loop_stats);
+            ("constant-load detection", test_const_load);
+            ("object_at_addr", test_object_at_addr) ])
+      variants
+  in
+  parameterized
+  @ [ Alcotest.test_case "loops_by_weight tie-break is deterministic" `Quick
+        test_loops_by_weight_tiebreak;
+      Alcotest.test_case "batched: boundaries at loop transitions" `Quick
+        test_batch_boundaries;
+      Alcotest.test_case "batched: free then realloc same address" `Quick
+        test_batch_free_then_realloc;
+      Alcotest.test_case "batched: nested-invocation cycle accounting" `Quick
+        test_batch_nested_invocation_cycles;
+      Alcotest.test_case "restricted profiler set" `Quick test_restricted_set;
+      Alcotest.test_case "parse_profilers" `Quick test_parse_profilers;
+      QCheck_alcotest.to_alcotest prop_fast_matches_reference ]
